@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+
+	"specglobe/internal/experiments"
+)
+
+// stringerFunc adapts a plain string to fmt.Stringer.
+type stringerFunc string
+
+func (s stringerFunc) String() string { return string(s) }
+
+// experimentList wires every experiment id of DESIGN.md to its runner.
+// The quick flag selects smaller sweeps for smoke runs.
+func experimentList() []experiment {
+	return []experiment{
+		{
+			id: "FIG5", desc: "disk space vs resolution (legacy mesher->solver database)",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex := []int{4, 8, 12, 16}
+				if quick {
+					nex = []int{4, 8}
+				}
+				return experiments.Fig5(nex)
+			},
+		},
+		{
+			id: "FIG6", desc: "total communication time vs core count",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex := []int{8, 12}
+				nproc := []int{1, 2}
+				steps := 8
+				if quick {
+					nex = []int{4, 8}
+					steps = 4
+				}
+				return experiments.Fig6(nex, nproc, steps)
+			},
+		},
+		{
+			id: "FIG7", desc: "total runtime vs resolution (fixed steps)",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex := []int{4, 6, 8, 12, 16}
+				steps := 8
+				if quick {
+					nex = []int{4, 8}
+					steps = 4
+				}
+				return experiments.Fig7(nex, steps)
+			},
+		},
+		{
+			id: "COMM%", desc: "communication fraction of the solver main loop",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex := []int{8}
+				nproc := []int{1, 2}
+				steps := 8
+				if quick {
+					nex = []int{4}
+					steps = 4
+				}
+				return experiments.CommFraction(nex, nproc, steps)
+			},
+		},
+		{
+			id: "MEM37", desc: "memory model + section 6 table (TAB6)",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex := []int{4, 8, 12, 16}
+				if quick {
+					nex = []int{4, 8}
+				}
+				return experiments.Memory(nex)
+			},
+		},
+		{
+			id: "ATT1.8", desc: "attenuation on/off cost factor",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex, steps := 8, 10
+				if quick {
+					nex, steps = 4, 6
+				}
+				return experiments.Attenuation(nex, steps)
+			},
+		},
+		{
+			id: "MESH2X", desc: "merged single-pass vs legacy two-pass mesher",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex := 12
+				if quick {
+					nex = 8
+				}
+				return experiments.Mesher(nex)
+			},
+		},
+		{
+			id: "IOMERGE", desc: "legacy file database vs merged in-memory handoff",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex := 8
+				if quick {
+					nex = 4
+				}
+				return experiments.IOModes(nex)
+			},
+		},
+		{
+			id: "SSE20", desc: "force-kernel variants: vec4 vs scalar vs BLAS",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex, steps := 8, 10
+				if quick {
+					nex, steps = 4, 6
+				}
+				return experiments.Kernels(nex, steps)
+			},
+		},
+		{
+			id: "CM5", desc: "Cuthill-McKee element sorting vs natural/scrambled order",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex, steps := 8, 8
+				if quick {
+					nex, steps = 4, 4
+				}
+				return experiments.Renumbering(nex, steps)
+			},
+		},
+		{
+			id: "STALOC", desc: "legacy nonlinear vs nearest-point station location",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex, n := 8, 12
+				if quick {
+					nex, n = 4, 6
+				}
+				return experiments.StationLocation(nex, n)
+			},
+		},
+		{
+			id: "LOADBAL", desc: "element load balance across ranks",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex, nproc := 8, 2
+				if quick {
+					nex, nproc = 4, 2
+				}
+				s, err := experiments.LoadBalance(nex, nproc)
+				if err != nil {
+					return nil, err
+				}
+				return stringerFunc(fmt.Sprintf(
+					"LOADBAL: min %d, max %d, mean %.1f elements/rank -> imbalance %.3f (paper: \"excellent load balancing\")\n",
+					s.MinElems, s.MaxElems, s.MeanElems, s.Imbalance)), nil
+			},
+		},
+	}
+}

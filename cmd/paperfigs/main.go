@@ -1,0 +1,55 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation from live runs of the Go mesher and solver at laptop
+// scale, fitting the section 5 model forms and extrapolating to the
+// paper's scales. Each experiment prints a block whose id matches the
+// per-experiment index in DESIGN.md and EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(quick bool) (fmt.Stringer, error)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperfigs: ")
+	var (
+		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		quick = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	exps := experimentList()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	for _, e := range exps {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		fmt.Printf("==== %s: %s\n", e.id, e.desc)
+		res, err := e.run(*quick)
+		if err != nil {
+			log.Fatalf("%s: %v", e.id, err)
+		}
+		fmt.Println(res)
+	}
+}

@@ -1,0 +1,53 @@
+// Command perfmodel prints the analytic performance models of the
+// paper's section 5 — the machine catalog, the reproduced section 6
+// production-run table, and the model-form predictions at the paper's
+// scales — without running the solver (see cmd/paperfigs for the
+// measured counterparts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"specglobe/internal/perfmodel"
+)
+
+func main() {
+	var (
+		showMachines = flag.Bool("machines", true, "print the machine catalog")
+		showTable6   = flag.Bool("table6", true, "print the reproduced section 6 table")
+		showAnchors  = flag.Bool("anchors", true, "print the resolution/period anchors")
+	)
+	flag.Parse()
+
+	if *showMachines {
+		fmt.Println("Machine catalog (section 5) with roofline sustained-performance model:")
+		fmt.Printf("  %-9s %-6s %8s %9s %9s %9s %10s\n",
+			"machine", "site", "cores", "GHz", "peak/core", "BW/core", "sust/core")
+		for _, m := range perfmodel.Catalog() {
+			fmt.Printf("  %-9s %-6s %8d %9.1f %8.2fG %8.2fG %9.2fG\n",
+				m.Name, m.Site, m.TotalCores, m.ClockGHz,
+				m.PeakGflopsPerCore, m.MemBWPerCoreGBs, m.SustainedGflopsPerCore())
+		}
+		fmt.Printf("  calibration: %.0f%% of peak compute ceiling, %.2f flop/byte intensity\n\n",
+			100*perfmodel.CPUEfficiency, perfmodel.ArithmeticIntensity)
+	}
+
+	if *showTable6 {
+		fmt.Println("Section 6 production runs, model vs paper (Tflops):")
+		fmt.Print(perfmodel.FormatTable6(perfmodel.Table6(nil)))
+		fmt.Println()
+	}
+
+	if *showAnchors {
+		fmt.Println("Resolution/period anchors (figure 5 caption: res = 256*17/period):")
+		for _, p := range []float64{17, 6.8, 3.5, 3.0, 2.52, 2.0, 1.94, 1.84, 1.0} {
+			res := perfmodel.PeriodToResolution(p)
+			fmt.Printf("  period %6.2f s  ->  NEX_XI %6.0f\n", p, math.Round(res))
+		}
+		fmt.Println()
+		fmt.Println("Paper milestones: 3.5 s (Earth Simulator 2003), 2.52 s (Kraken 17K),")
+		fmt.Println("1.94 s (Jaguar 29K), 1.84 s (Ranger 32K — the 2-second barrier broken)")
+	}
+}

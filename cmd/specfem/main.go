@@ -1,0 +1,139 @@
+// Command specfem runs a merged mesher+solver global simulation — the
+// equivalent of the paper's single merged application (section 4.1).
+//
+// Example:
+//
+//	specfem -nex 8 -nproc 1 -model prem -steps 200 -stations 12 \
+//	        -lat -27 -lon -63 -depth 150e3 -out seismograms/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"specglobe/internal/core"
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/perfmodel"
+	"specglobe/internal/solver"
+	"specglobe/internal/stations"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specfem: ")
+
+	var (
+		nex      = flag.Int("nex", 8, "NEX_XI: spectral elements per chunk side")
+		nproc    = flag.Int("nproc", 1, "NPROC_XI: mesh slices per chunk side (ranks = 6*nproc^2)")
+		modelStr = flag.String("model", "prem", "earth model: prem, prem_noocean, homogeneous")
+		steps    = flag.Int("steps", 100, "number of time steps")
+		record   = flag.Float64("seconds", 0, "simulated seconds (overrides -steps when > 0)")
+		nstat    = flag.Int("stations", 8, "number of synthetic global stations (0 = reference GSN subset)")
+		lat      = flag.Float64("lat", -27.0, "event latitude (deg)")
+		lon      = flag.Float64("lon", -63.0, "event longitude (deg)")
+		depth    = flag.Float64("depth", 150e3, "event depth (m)")
+		m0       = flag.Float64("m0", 1e20, "scalar moment (N*m)")
+		halfDur  = flag.Float64("halfduration", 20, "source half duration (s)")
+		att      = flag.Bool("attenuation", false, "enable attenuation")
+		rot      = flag.Bool("rotation", false, "enable rotation (Coriolis)")
+		grav     = flag.Bool("gravity", false, "enable background gravity")
+		ocean    = flag.Bool("oceans", false, "enable ocean load")
+		snap     = flag.Bool("snap-stations", false, "locate stations at nearest grid point (fast 4.4 mode)")
+		kernel   = flag.String("kernel", "vec4", "force kernel: vec4, scalar, blas")
+		legacyIO = flag.String("legacy-io", "", "write/read the mesh through a legacy file database in this directory")
+		combined = flag.Bool("combined-halo", false, "combine crust/mantle and inner-core halo messages (33% fewer messages)")
+		out      = flag.String("out", "", "directory for ASCII seismograms (empty = skip)")
+	)
+	flag.Parse()
+
+	var model earthmodel.Model
+	switch *modelStr {
+	case "prem":
+		model = earthmodel.NewPREM()
+	case "prem_noocean":
+		model = earthmodel.NewPREMNoOcean()
+	case "homogeneous":
+		h := earthmodel.NewHomogeneous(6371e3, earthmodel.Material{
+			Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+		})
+		h.ICBRadius = 1221.5e3
+		h.CMBRadius = 3480e3
+		model = h
+	default:
+		log.Fatalf("unknown model %q", *modelStr)
+	}
+
+	var kv solver.Kernel
+	switch *kernel {
+	case "vec4":
+		kv = solver.KernelVec4
+	case "scalar":
+		kv = solver.KernelScalar
+	case "blas":
+		kv = solver.KernelBlas
+	default:
+		log.Fatalf("unknown kernel %q", *kernel)
+	}
+
+	var sts []stations.Station
+	if *nstat > 0 {
+		sts = stations.GlobalNetwork(*nstat)
+	} else {
+		sts = stations.ReferenceStations()
+	}
+
+	cfg := core.Config{
+		NexXi: *nex, NProcXi: *nproc,
+		Model:         model,
+		Steps:         *steps,
+		RecordSeconds: *record,
+		Event: core.Event{
+			Name: "cli-event", LatDeg: *lat, LonDeg: *lon, DepthM: *depth,
+			Mrr: *m0, Mtt: -*m0 / 2, Mpp: -*m0 / 2,
+			HalfDurationSec: *halfDur,
+		},
+		Stations:          sts,
+		SnapStations:      *snap,
+		Attenuation:       *att,
+		Rotation:          *rot,
+		Gravity:           *grav,
+		OceanLoad:         *ocean,
+		Kernel:            kv,
+		CombinedSolidHalo: *combined,
+	}
+	if *record > 0 {
+		cfg.Steps = 0
+	}
+	if *legacyIO != "" {
+		cfg.LegacyIO = true
+		cfg.LegacyDir = *legacyIO
+	}
+
+	rep, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mesh: %d ranks, %d elements, shortest period ~%.1f s (paper rule: %.1f s)\n",
+		len(rep.Globe.Locals), rep.Globe.TotalElements(), rep.ShortestPeriod,
+		perfmodel.ResolutionToPeriod(float64(*nex)))
+	fmt.Printf("load balance: min %d / max %d elements per rank (imbalance %.3f)\n",
+		rep.Load.MinElems, rep.Load.MaxElems, rep.Load.Imbalance)
+	fmt.Printf("mesher: %v (%d pass(es));  handoff: %d files, %s\n",
+		rep.MesherTime.Round(1e6), rep.Globe.BuildPasses, rep.IO.Files,
+		perfmodel.HumanBytes(float64(rep.IO.Bytes)))
+	fmt.Printf("solver: %d steps, dt=%.3f s, wall %v\n",
+		rep.Result.Steps, rep.Result.Dt, rep.SolverTime.Round(1e6))
+	fmt.Printf("worst station location error: %.1f m\n", rep.StationErrors)
+	fmt.Print(rep.Result.Perf)
+
+	if *out != "" {
+		if err := core.WriteSeismograms(*out, rep.Result); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d seismograms to %s\n", len(rep.Result.Seismograms), *out)
+	}
+	_ = os.Stdout.Sync()
+}

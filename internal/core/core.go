@@ -1,0 +1,298 @@
+// Package core is the public façade of the reproduction: it wires the
+// mesher (internal/meshfem), the optional legacy file handoff
+// (internal/meshio), station location (internal/stations) and the
+// spectral-element solver (internal/solver) into the two execution
+// modes the paper contrasts:
+//
+//   - the merged mode (section 4.1): mesher and solver run as one
+//     program and communicate through memory, and
+//   - the legacy mode of the stable 4.0 code: the mesher writes a
+//     per-core file database that the solver reads back.
+//
+// A Config resembles the DATA/Par_file of SPECFEM3D_GLOBE: NEX_XI,
+// NPROC_XI, the model, the physics switches (attenuation, rotation,
+// gravity, oceans) and the event/station setup.
+package core
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"specglobe/internal/cubedsphere"
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/mesh"
+	"specglobe/internal/meshfem"
+	"specglobe/internal/meshio"
+	"specglobe/internal/solver"
+	"specglobe/internal/stations"
+)
+
+// Event is a CMT-style point source. The moment tensor uses the
+// Harvard/Global CMT convention: components in the local (r, theta,
+// phi) = (up, south, east) basis, in N*m.
+type Event struct {
+	Name   string
+	LatDeg float64
+	LonDeg float64
+	DepthM float64
+	// Moment tensor components (N*m), CMT convention.
+	Mrr, Mtt, Mpp, Mrt, Mrp, Mtp float64
+	// HalfDurationSec controls the Gaussian source time function.
+	HalfDurationSec float64
+}
+
+// ScalarMoment returns the scalar seismic moment M0 of the event.
+func (e Event) ScalarMoment() float64 {
+	sum := e.Mrr*e.Mrr + e.Mtt*e.Mtt + e.Mpp*e.Mpp +
+		2*(e.Mrt*e.Mrt+e.Mrp*e.Mrp+e.Mtp*e.Mtp)
+	return math.Sqrt(sum / 2)
+}
+
+// MomentMagnitude returns Mw = 2/3 (log10 M0 - 9.1).
+func (e Event) MomentMagnitude() float64 {
+	m0 := e.ScalarMoment()
+	if m0 <= 0 {
+		return math.Inf(-1)
+	}
+	return 2.0 / 3.0 * (math.Log10(m0) - 9.1)
+}
+
+// CartesianMomentTensor rotates the CMT (r, theta, phi) tensor into the
+// Earth-centered Cartesian frame at the epicenter.
+func (e Event) CartesianMomentTensor() [3][3]float64 {
+	lat := e.LatDeg * math.Pi / 180
+	lon := e.LonDeg * math.Pi / 180
+	theta := math.Pi/2 - lat // colatitude
+	st, ct := math.Sin(theta), math.Cos(theta)
+	sp, cp := math.Sin(lon), math.Cos(lon)
+	rHat := [3]float64{st * cp, st * sp, ct}
+	tHat := [3]float64{ct * cp, ct * sp, -st} // south
+	pHat := [3]float64{-sp, cp, 0}            // east
+	var m [3][3]float64
+	// Off-diagonal CMT components contribute symmetrically:
+	// M_ab (a b^T + b a^T).
+	addSym := func(s float64, a, b [3]float64) {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += s * (a[i]*b[j] + b[i]*a[j])
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m[i][j] += e.Mrr * rHat[i] * rHat[j]
+			m[i][j] += e.Mtt * tHat[i] * tHat[j]
+			m[i][j] += e.Mpp * pHat[i] * pHat[j]
+		}
+	}
+	addSym(e.Mrt, rHat, tHat)
+	addSym(e.Mrp, rHat, pHat)
+	addSym(e.Mtp, tHat, pHat)
+	return m
+}
+
+// Config describes a complete simulation, Par_file style.
+type Config struct {
+	// NexXi is NEX_XI (elements per chunk side); NProcXi is NPROC_XI.
+	NexXi, NProcXi int
+	// Model is the radial Earth model; nil selects PREM.
+	Model earthmodel.Model
+	// RecordSeconds is the simulated signal duration; Steps overrides
+	// it when positive.
+	RecordSeconds float64
+	Steps         int
+	// Dt overrides the automatic stable time step when positive.
+	Dt float64
+
+	// Physics switches (the benchmark set of section 3).
+	Attenuation bool
+	Rotation    bool
+	Gravity     bool
+	OceanLoad   bool
+
+	// Engineering switches studied in section 4.
+	Kernel            solver.Kernel
+	CombinedSolidHalo bool
+	TwoPassMesher     bool
+	// LegacyIO routes the mesh through the per-core file database in
+	// LegacyDir instead of handing it over in memory.
+	LegacyIO  bool
+	LegacyDir string
+
+	// Event and stations.
+	Event        Event
+	Stations     []stations.Station
+	SnapStations bool
+	RecordEvery  int
+	EnergyEvery  int
+}
+
+// Report is everything a run produces.
+type Report struct {
+	Config         Config
+	Globe          *meshfem.Globe
+	Result         *solver.Result
+	MesherTime     time.Duration
+	SolverTime     time.Duration
+	IO             meshio.Stats
+	ShortestPeriod float64
+	Load           mesh.LoadStats
+	StationErrors  float64 // worst station location residual (m)
+}
+
+// Run executes a full simulation.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Model == nil {
+		cfg.Model = earthmodel.NewPREM()
+	}
+	rep := &Report{Config: cfg}
+
+	t0 := time.Now()
+	globe, err := meshfem.Build(meshfem.Config{
+		NexXi:            cfg.NexXi,
+		NProcXi:          cfg.NProcXi,
+		Model:            cfg.Model,
+		TwoPassMaterials: cfg.TwoPassMesher,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.MesherTime = time.Since(t0)
+	rep.Globe = globe
+	rep.ShortestPeriod = globe.ShortestPeriod
+	rep.Load = mesh.ComputeLoadStats(globe.Locals)
+
+	locals, plans := globe.Locals, globe.Plans
+	if cfg.LegacyIO {
+		dir := cfg.LegacyDir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "specglobe-db-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+		}
+		st, err := meshio.WriteAllRanks(dir, locals, plans)
+		if err != nil {
+			return nil, fmt.Errorf("core: legacy write: %w", err)
+		}
+		locals, plans, err = meshio.ReadAllRanks(dir, len(locals))
+		if err != nil {
+			return nil, fmt.Errorf("core: legacy read: %w", err)
+		}
+		rep.IO = st
+	} else {
+		rep.IO = meshio.MergedHandoff(locals)
+	}
+
+	// Source.
+	srcLoc, err := globe.LocateLatLonDepth(cfg.Event.LatDeg, cfg.Event.LonDeg, cfg.Event.DepthM)
+	if err != nil {
+		return nil, fmt.Errorf("core: locating event: %w", err)
+	}
+	if srcLoc.Kind == earthmodel.RegionOuterCore {
+		return nil, fmt.Errorf("core: event at depth %g m falls in the fluid outer core", cfg.Event.DepthM)
+	}
+	hd := cfg.Event.HalfDurationSec
+	if hd <= 0 {
+		hd = 10
+	}
+	src := solver.Source{
+		Rank: srcLoc.Rank, Kind: srcLoc.Kind, Elem: srcLoc.Elem, Ref: srcLoc.Ref,
+		MomentTensor: cfg.Event.CartesianMomentTensor(),
+		STF:          solver.GaussianSTF(hd, 2.5*hd),
+	}
+
+	// Stations.
+	var located []stations.Located
+	for _, st := range cfg.Stations {
+		l, err := stations.LocateFast(globe, st, cfg.SnapStations)
+		if err != nil {
+			return nil, err
+		}
+		located = append(located, l)
+	}
+	rep.StationErrors = stations.MaxLocationError(located)
+
+	// Steps.
+	steps := cfg.Steps
+	if steps <= 0 {
+		dt := cfg.Dt
+		if dt <= 0 {
+			dt = globe.StableDt(0.3)
+		}
+		if cfg.RecordSeconds <= 0 {
+			return nil, fmt.Errorf("core: need Steps or RecordSeconds")
+		}
+		steps = int(math.Ceil(cfg.RecordSeconds / dt))
+	}
+
+	t1 := time.Now()
+	res, err := solver.Run(&solver.Simulation{
+		Locals:    locals,
+		Plans:     plans,
+		Model:     cfg.Model,
+		Sources:   []solver.Source{src},
+		Receivers: stations.ToReceivers(located),
+		Opts: solver.Options{
+			Dt:                cfg.Dt,
+			Steps:             steps,
+			Attenuation:       cfg.Attenuation,
+			Rotation:          cfg.Rotation,
+			Gravity:           cfg.Gravity,
+			OceanLoad:         cfg.OceanLoad,
+			Kernel:            cfg.Kernel,
+			CombinedSolidHalo: cfg.CombinedSolidHalo,
+			RecordEvery:       cfg.RecordEvery,
+			EnergyEvery:       cfg.EnergyEvery,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.SolverTime = time.Since(t1)
+	rep.Result = res
+	return rep, nil
+}
+
+// WriteSeismograms writes every recorded seismogram as an ASCII file
+// (time, x, y, z per line), the format downstream plotting expects.
+func WriteSeismograms(dir string, res *solver.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, sg := range res.Seismograms {
+		f, err := os.Create(filepath.Join(dir, name+".sem"))
+		if err != nil {
+			return err
+		}
+		for i := range sg.X {
+			fmt.Fprintf(f, "%12.4f %14.6e %14.6e %14.6e\n",
+				float64(i+1)*sg.Dt, sg.X[i], sg.Y[i], sg.Z[i])
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EpicentralDistanceDeg returns the great-circle distance in degrees
+// between an event and a station — used by examples for travel-time
+// sanity checks.
+func EpicentralDistanceDeg(e Event, st stations.Station) float64 {
+	a := cubedsphere.LatLon(e.LatDeg, e.LonDeg)
+	b := cubedsphere.LatLon(st.LatDeg, st.LonDeg)
+	d := a.Dot(b)
+	if d > 1 {
+		d = 1
+	}
+	if d < -1 {
+		d = -1
+	}
+	return math.Acos(d) * 180 / math.Pi
+}

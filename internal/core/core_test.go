@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/stations"
+)
+
+// smallModel is a light Earth-like model for fast end-to-end runs.
+func smallModel() earthmodel.Model {
+	h := earthmodel.NewHomogeneous(6371e3, earthmodel.Material{
+		Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+	})
+	h.ICBRadius = 1221.5e3
+	h.CMBRadius = 3480e3
+	return h
+}
+
+// testEvent is a deep double-couple roughly like the Argentina events
+// the paper simulated.
+var testEvent = Event{
+	Name: "test-event", LatDeg: -27.0, LonDeg: -63.0, DepthM: 150e3,
+	Mrr: 1e20, Mtt: -0.5e20, Mpp: -0.5e20, Mrt: 0.3e20,
+	HalfDurationSec: 20,
+}
+
+func TestEventMomentAndMagnitude(t *testing.T) {
+	e := Event{Mrr: 1e20, Mtt: -1e20}
+	m0 := e.ScalarMoment()
+	if math.Abs(m0-1e20) > 1e17 {
+		t.Errorf("M0 = %g want 1e20", m0)
+	}
+	// Mw = 2/3 (log10(1e20) - 9.1) = 2/3 * 10.9 = 7.27.
+	if mw := e.MomentMagnitude(); math.Abs(mw-7.2667) > 0.01 {
+		t.Errorf("Mw = %v want ~7.27", mw)
+	}
+	if !math.IsInf(Event{}.MomentMagnitude(), -1) {
+		t.Error("zero tensor should have -inf magnitude")
+	}
+}
+
+// The Cartesian moment tensor must be symmetric, preserve the Frobenius
+// norm (rotation invariance) and preserve the trace (isotropic part).
+func TestCartesianMomentTensorInvariants(t *testing.T) {
+	e := Event{LatDeg: -27, LonDeg: -63,
+		Mrr: 2e20, Mtt: -1e20, Mpp: -1e20, Mrt: 0.5e20, Mrp: -0.25e20, Mtp: 0.75e20}
+	m := e.CartesianMomentTensor()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m[i][j] != m[j][i] {
+				t.Fatalf("tensor not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	frob := 0.0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			frob += m[i][j] * m[i][j]
+		}
+	}
+	wantFrob := e.Mrr*e.Mrr + e.Mtt*e.Mtt + e.Mpp*e.Mpp +
+		2*(e.Mrt*e.Mrt+e.Mrp*e.Mrp+e.Mtp*e.Mtp)
+	if math.Abs(frob-wantFrob)/wantFrob > 1e-12 {
+		t.Errorf("Frobenius norm changed under rotation: %g vs %g", frob, wantFrob)
+	}
+	tr := m[0][0] + m[1][1] + m[2][2]
+	wantTr := e.Mrr + e.Mtt + e.Mpp
+	if math.Abs(tr-wantTr) > 1e7 {
+		t.Errorf("trace changed: %g vs %g", tr, wantTr)
+	}
+}
+
+// An isotropic (explosion) tensor is rotation invariant: the Cartesian
+// tensor must be M0 * identity regardless of epicenter.
+func TestCartesianMomentTensorIsotropic(t *testing.T) {
+	e := Event{LatDeg: 40, LonDeg: -120, Mrr: 3e19, Mtt: 3e19, Mpp: 3e19}
+	m := e.CartesianMomentTensor()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 3e19
+			}
+			if math.Abs(m[i][j]-want) > 1e7 {
+				t.Errorf("isotropic tensor broken at (%d,%d): %g", i, j, m[i][j])
+			}
+		}
+	}
+}
+
+func TestRunMergedEndToEnd(t *testing.T) {
+	rep, err := Run(Config{
+		NexXi: 4, NProcXi: 1,
+		Model:    smallModel(),
+		Steps:    30,
+		Event:    testEvent,
+		Stations: stations.ReferenceStations()[:3],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IO.Files != 0 {
+		t.Errorf("merged mode wrote %d files", rep.IO.Files)
+	}
+	if rep.IO.Bytes == 0 {
+		t.Error("no handoff bytes accounted")
+	}
+	if len(rep.Result.Seismograms) != 3 {
+		t.Errorf("%d seismograms, want 3", len(rep.Result.Seismograms))
+	}
+	if rep.ShortestPeriod <= 0 {
+		t.Error("no resolution estimate")
+	}
+	if rep.Load.Imbalance < 1 {
+		t.Errorf("impossible imbalance %v", rep.Load.Imbalance)
+	}
+	if rep.MesherTime <= 0 || rep.SolverTime <= 0 {
+		t.Error("timers not recorded")
+	}
+}
+
+func TestRunLegacyIOEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Run(Config{
+		NexXi: 4, NProcXi: 1,
+		Model:     smallModel(),
+		Steps:     10,
+		Event:     testEvent,
+		Stations:  stations.ReferenceStations()[:2],
+		LegacyIO:  true,
+		LegacyDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 ranks x 51 files.
+	if rep.IO.Files != 6*51 {
+		t.Errorf("legacy mode wrote %d files, want %d", rep.IO.Files, 6*51)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != rep.IO.Files {
+		t.Errorf("%d files on disk vs %d accounted", len(entries), rep.IO.Files)
+	}
+}
+
+// Legacy and merged modes must produce identical seismograms: the file
+// round trip is bit-exact.
+func TestLegacyMatchesMerged(t *testing.T) {
+	base := Config{
+		NexXi: 4, NProcXi: 1,
+		Model:    smallModel(),
+		Steps:    25,
+		Event:    testEvent,
+		Stations: stations.ReferenceStations()[:2],
+	}
+	merged, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyCfg := base
+	legacyCfg.LegacyIO = true
+	legacyCfg.LegacyDir = t.TempDir()
+	legacy, err := Run(legacyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, a := range merged.Result.Seismograms {
+		b := legacy.Result.Seismograms[name]
+		if b == nil {
+			t.Fatalf("legacy run lost station %s", name)
+		}
+		for i := range a.X {
+			if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] || a.Z[i] != b.Z[i] {
+				t.Fatalf("station %s sample %d differs between modes", name, i)
+			}
+		}
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(Config{NexXi: 4, NProcXi: 1, Model: smallModel(), Event: testEvent}); err == nil {
+		t.Error("missing Steps/RecordSeconds accepted")
+	}
+	bad := testEvent
+	bad.DepthM = 4000e3 // outer core
+	if _, err := Run(Config{NexXi: 4, NProcXi: 1, Model: smallModel(), Steps: 5, Event: bad}); err == nil {
+		t.Error("event in the fluid outer core accepted")
+	}
+}
+
+func TestRecordSecondsDerivesSteps(t *testing.T) {
+	rep, err := Run(Config{
+		NexXi: 4, NProcXi: 1,
+		Model:         smallModel(),
+		RecordSeconds: 30,
+		Event:         testEvent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(rep.Result.Steps) * rep.Result.Dt; got < 30 || got > 40 {
+		t.Errorf("simulated %g s, want >= 30", got)
+	}
+}
+
+func TestWriteSeismograms(t *testing.T) {
+	rep, err := Run(Config{
+		NexXi: 4, NProcXi: 1,
+		Model:    smallModel(),
+		Steps:    10,
+		Event:    testEvent,
+		Stations: stations.ReferenceStations()[:2],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteSeismograms(dir, rep.Result); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ANMO.sem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 10 {
+		t.Errorf("%d samples written, want 10", len(lines))
+	}
+	if len(strings.Fields(lines[0])) != 4 {
+		t.Errorf("bad line format: %q", lines[0])
+	}
+}
+
+func TestEpicentralDistance(t *testing.T) {
+	e := Event{LatDeg: 0, LonDeg: 0}
+	if d := EpicentralDistanceDeg(e, stations.Station{LatDeg: 0, LonDeg: 90}); math.Abs(d-90) > 1e-9 {
+		t.Errorf("quarter-circle distance %v", d)
+	}
+	if d := EpicentralDistanceDeg(e, stations.Station{LatDeg: 0, LonDeg: 180}); math.Abs(d-180) > 1e-9 {
+		t.Errorf("antipodal distance %v", d)
+	}
+	if d := EpicentralDistanceDeg(e, stations.Station{LatDeg: 0, LonDeg: 0}); d > 1e-9 {
+		t.Errorf("zero distance %v", d)
+	}
+}
+
+func TestDefaultModelIsPREM(t *testing.T) {
+	// NEX=4 PREM run: just check the model defaulting works end to end.
+	rep, err := Run(Config{
+		NexXi: 4, NProcXi: 1,
+		Steps: 5,
+		Event: testEvent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Config.Model.Name() != "PREM" {
+		t.Errorf("default model %q", rep.Config.Model.Name())
+	}
+}

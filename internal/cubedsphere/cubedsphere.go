@@ -1,0 +1,226 @@
+// Package cubedsphere implements the analytic "gnomonic mapping" (cubed
+// sphere) of Sadourny (1972) and Ronchi et al. (1996) that
+// SPECFEM3D_GLOBE uses to mesh the globe: the sphere is split into 6
+// chunks, each parameterized by two angles (xi, eta) in [-pi/4, pi/4],
+// and each chunk is further subdivided into NPROC_XI^2 mesh slices for
+// a total of 6 * NPROC_XI^2 slices, one per MPI rank.
+//
+// The package also provides the "inflated central cube" mapping for the
+// core of the inner core: a spherified cube whose surface grid matches
+// the chunk bottom grids point-for-point (because both use tangent-spaced
+// nodes), so the global mesh stays conforming across the interface.
+package cubedsphere
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-vector in Earth-centered Cartesian coordinates.
+type Vec3 [3]float64
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a[0] + b[0], a[1] + b[1], a[2] + b[2]} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a[0] - b[0], a[1] - b[1], a[2] - b[2]} }
+
+// Scale returns s * a.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{s * a[0], s * a[1], s * a[2]} }
+
+// Dot returns the dot product.
+func (a Vec3) Dot(b Vec3) float64 { return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] }
+
+// Cross returns the cross product a x b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a[1]*b[2] - a[2]*b[1],
+		a[2]*b[0] - a[0]*b[2],
+		a[0]*b[1] - a[1]*b[0],
+	}
+}
+
+// Norm returns the Euclidean length.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Normalize returns a / |a|; the zero vector is returned unchanged.
+func (a Vec3) Normalize() Vec3 {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// MaxAbs returns the Chebyshev (max) norm.
+func (a Vec3) MaxAbs() float64 {
+	m := math.Abs(a[0])
+	if v := math.Abs(a[1]); v > m {
+		m = v
+	}
+	if v := math.Abs(a[2]); v > m {
+		m = v
+	}
+	return m
+}
+
+// Face identifies one of the six cubed-sphere chunks.
+type Face int
+
+// The six chunks, named by their outward cube-face normal.
+const (
+	FacePX   Face = iota // +X
+	FaceNX               // -X
+	FacePY               // +Y
+	FaceNY               // -Y
+	FacePZ               // +Z
+	FaceNZ               // -Z
+	NumFaces = 6
+)
+
+// String returns a short chunk name.
+func (f Face) String() string {
+	switch f {
+	case FacePX:
+		return "+X"
+	case FaceNX:
+		return "-X"
+	case FacePY:
+		return "+Y"
+	case FaceNY:
+		return "-Y"
+	case FacePZ:
+		return "+Z"
+	case FaceNZ:
+		return "-Z"
+	}
+	return fmt.Sprintf("Face(%d)", int(f))
+}
+
+// XiMax is the half-width of a chunk in the angular coordinates:
+// xi, eta span [-pi/4, pi/4].
+const XiMax = math.Pi / 4
+
+// Triad returns the face normal n and the two in-face axes u, v such
+// that a chunk point with tangent coordinates (a, b) lies along
+// n + a*u + b*v. The axes are canonical unit vectors (so grid values
+// land bit-exactly in vector components, which global numbering relies
+// on) and are ordered so that (u, v, n) is right-handed: u x v = n.
+// Right-handedness makes every element's Jacobian determinant positive.
+func (f Face) Triad() (n, u, v Vec3) {
+	switch f {
+	case FacePX:
+		return Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}
+	case FaceNX:
+		return Vec3{-1, 0, 0}, Vec3{0, 0, 1}, Vec3{0, 1, 0}
+	case FacePY:
+		return Vec3{0, 1, 0}, Vec3{0, 0, 1}, Vec3{1, 0, 0}
+	case FaceNY:
+		return Vec3{0, -1, 0}, Vec3{1, 0, 0}, Vec3{0, 0, 1}
+	case FacePZ:
+		return Vec3{0, 0, 1}, Vec3{1, 0, 0}, Vec3{0, 1, 0}
+	case FaceNZ:
+		return Vec3{0, 0, -1}, Vec3{0, 1, 0}, Vec3{1, 0, 0}
+	}
+	panic(fmt.Sprintf("cubedsphere: invalid face %d", int(f)))
+}
+
+// Direction returns the unit direction for angular coordinates (xi, eta)
+// on face f: the gnomonic mapping normalize(n + tan(xi) u + tan(eta) v).
+func Direction(f Face, xi, eta float64) Vec3 {
+	return DirectionTan(f, math.Tan(xi), math.Tan(eta))
+}
+
+// DirectionTan is Direction with tangent-space coordinates a = tan(xi),
+// b = tan(eta) already applied.
+func DirectionTan(f Face, a, b float64) Vec3 {
+	n, u, v := f.Triad()
+	return n.Add(u.Scale(a)).Add(v.Scale(b)).Normalize()
+}
+
+// FaceOf returns the chunk containing direction d (dominant-axis rule).
+// Points exactly on a chunk boundary are assigned to the lower-numbered
+// face deterministically.
+func FaceOf(d Vec3) Face {
+	ax, ay, az := math.Abs(d[0]), math.Abs(d[1]), math.Abs(d[2])
+	switch {
+	case ax >= ay && ax >= az:
+		if d[0] >= 0 {
+			return FacePX
+		}
+		return FaceNX
+	case ay >= ax && ay >= az:
+		if d[1] >= 0 {
+			return FacePY
+		}
+		return FaceNY
+	default:
+		if d[2] >= 0 {
+			return FacePZ
+		}
+		return FaceNZ
+	}
+}
+
+// XiEta inverts Direction for a unit direction d known to lie on face f.
+func XiEta(f Face, d Vec3) (xi, eta float64) {
+	n, u, v := f.Triad()
+	dn := d.Dot(n)
+	if dn == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return math.Atan(d.Dot(u) / dn), math.Atan(d.Dot(v) / dn)
+}
+
+// TanGrid returns the nex+1 tangent-space node positions tan(xi_i) for a
+// uniform angular subdivision of a chunk into nex elements per side.
+// These nodes are shared by chunk surfaces and the central cube grid.
+func TanGrid(nex int) []float64 {
+	g := make([]float64, nex+1)
+	for i := 0; i <= nex; i++ {
+		xi := -XiMax + float64(i)/float64(nex)*2*XiMax
+		g[i] = math.Tan(xi)
+	}
+	// Pin the symmetric values exactly.
+	g[0], g[nex] = -1, 1
+	if nex%2 == 0 {
+		g[nex/2] = 0
+	}
+	return g
+}
+
+// CubePoint maps a central-cube parameter point q (tangent-space cube
+// coordinates, each component in [-1, 1]) to physical coordinates for a
+// central cube of radius rcc. The mapping is the "spherified cube"
+// blend: pure scaled cube at the center (non-degenerate Jacobian at the
+// origin) and exact sphere of radius rcc on the surface max|q_i| = 1,
+// where it matches the gnomonic chunk bottoms point-for-point.
+func CubePoint(q Vec3, rcc float64) Vec3 {
+	m := q.MaxAbs()
+	if m == 0 {
+		return Vec3{}
+	}
+	w := m * m
+	cube := q.Scale((1 - w) / math.Sqrt(3))
+	sphere := q.Normalize().Scale(w * m)
+	return cube.Add(sphere).Scale(rcc)
+}
+
+// LatLon converts geographic latitude and longitude in degrees to a unit
+// direction (spherical Earth; geocentric latitude).
+func LatLon(latDeg, lonDeg float64) Vec3 {
+	lat := latDeg * math.Pi / 180
+	lon := lonDeg * math.Pi / 180
+	return Vec3{
+		math.Cos(lat) * math.Cos(lon),
+		math.Cos(lat) * math.Sin(lon),
+		math.Sin(lat),
+	}
+}
+
+// ToLatLon converts a direction to geographic latitude and longitude in
+// degrees.
+func ToLatLon(d Vec3) (latDeg, lonDeg float64) {
+	d = d.Normalize()
+	return math.Asin(d[2]) * 180 / math.Pi, math.Atan2(d[1], d[0]) * 180 / math.Pi
+}

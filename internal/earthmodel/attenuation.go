@@ -1,0 +1,134 @@
+package earthmodel
+
+import (
+	"fmt"
+	"math"
+
+	"specglobe/internal/linalg"
+)
+
+// Attenuation in the SEM is implemented with a series of standard linear
+// solids (SLS): each mechanism carries a memory variable per strain
+// component that relaxes toward the current strain with time constant
+// tauSigma_k, producing a nearly constant quality factor Q over the
+// simulated frequency band (Emmerich & Korn 1987; Komatitsch & Tromp
+// 2002). This file fits the mechanism coefficients.
+
+// DefaultNSLS is the number of standard linear solids SPECFEM3D_GLOBE
+// uses (3 mechanisms span about three decades of frequency).
+const DefaultNSLS = 3
+
+// SLSFit holds attenuation mechanisms fitted to a constant target
+// quality factor over a frequency band. The coefficients Y are for the
+// *reference* inverse quality factor 1/Qref = 1; per-element mechanisms
+// scale linearly with the element's 1/Q (first-order in 1/Q, the
+// standard approximation for mantle Q values).
+type SLSFit struct {
+	NSLS     int
+	FMin     float64   // band lower edge, Hz
+	FMax     float64   // band upper edge, Hz
+	FCenter  float64   // logarithmic band center, Hz
+	TauSigma []float64 // stress relaxation times, one per mechanism
+	Y        []float64 // modulus-defect coefficients for 1/Q = 1
+}
+
+// FitAttenuation fits nsls standard linear solids so that the summed
+// mechanism response approximates a constant Q across [fmin, fmax].
+// The fit solves a linear least-squares problem for the modulus-defect
+// coefficients at logarithmically spaced control frequencies.
+func FitAttenuation(fmin, fmax float64, nsls int) (*SLSFit, error) {
+	if fmin <= 0 || fmax <= fmin {
+		return nil, fmt.Errorf("earthmodel: bad attenuation band [%g, %g]", fmin, fmax)
+	}
+	if nsls < 1 {
+		return nil, fmt.Errorf("earthmodel: need at least 1 SLS, got %d", nsls)
+	}
+	fit := &SLSFit{
+		NSLS:    nsls,
+		FMin:    fmin,
+		FMax:    fmax,
+		FCenter: math.Sqrt(fmin * fmax),
+	}
+	// Relaxation times logarithmically spaced across the band.
+	fit.TauSigma = make([]float64, nsls)
+	for k := 0; k < nsls; k++ {
+		var f float64
+		if nsls == 1 {
+			f = fit.FCenter
+		} else {
+			t := float64(k) / float64(nsls-1)
+			f = math.Exp(math.Log(fmin) + t*(math.Log(fmax)-math.Log(fmin)))
+		}
+		fit.TauSigma[k] = 1 / (2 * math.Pi * f)
+	}
+	// Control frequencies: 2*nsls+1 points across the band.
+	nf := 2*nsls + 1
+	a := make([][]float64, nf)
+	b := make([]float64, nf)
+	for i := 0; i < nf; i++ {
+		t := float64(i) / float64(nf-1)
+		f := math.Exp(math.Log(fmin) + t*(math.Log(fmax)-math.Log(fmin)))
+		w := 2 * math.Pi * f
+		a[i] = make([]float64, nsls)
+		for k := 0; k < nsls; k++ {
+			wt := w * fit.TauSigma[k]
+			a[i][k] = wt / (1 + wt*wt)
+		}
+		b[i] = 1 // target 1/Q = 1 (reference)
+	}
+	y, err := linalg.LeastSquares(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("earthmodel: attenuation fit failed: %w", err)
+	}
+	fit.Y = y
+	return fit, nil
+}
+
+// QInverse evaluates the fitted inverse quality factor at frequency f
+// (Hz) for a target quality factor q. It should be close to 1/q across
+// the fitted band.
+func (s *SLSFit) QInverse(f, q float64) float64 {
+	w := 2 * math.Pi * f
+	sum := 0.0
+	for k := 0; k < s.NSLS; k++ {
+		wt := w * s.TauSigma[k]
+		sum += s.Y[k] * wt / (1 + wt*wt)
+	}
+	return sum / q
+}
+
+// MechanismCoefficients returns, for a material quality factor q and
+// time step dt, the per-mechanism memory-variable update coefficients:
+//
+//	R_k^{n+1} = alpha_k R_k^n + beta_k e^{n+1}
+//
+// where e is the relevant strain trace/deviator, alpha_k = exp(-dt/tau_k),
+// and beta_k = (y_k/q)(1 - alpha_k). The stress correction subtracts
+// sum_k R_k times the unrelaxed modulus.
+func (s *SLSFit) MechanismCoefficients(q, dt float64) (alpha, beta []float64) {
+	alpha = make([]float64, s.NSLS)
+	beta = make([]float64, s.NSLS)
+	for k := 0; k < s.NSLS; k++ {
+		alpha[k] = math.Exp(-dt / s.TauSigma[k])
+		beta[k] = s.Y[k] / q * (1 - alpha[k])
+	}
+	return alpha, beta
+}
+
+// UnrelaxedFactor returns the factor converting a modulus defined at the
+// reference frequency (where the model velocities are specified) to the
+// unrelaxed (instantaneous) modulus used by the time-domain scheme:
+// M_u = M_ref * (1 + sum_k y_k/q * (w_ref tau_k)^2/(1+(w_ref tau_k)^2))
+// evaluated at the band center. For q <= 0 (no attenuation) it is 1.
+func (s *SLSFit) UnrelaxedFactor(q float64) float64 {
+	if q <= 0 {
+		return 1
+	}
+	w := 2 * math.Pi * s.FCenter
+	sum := 0.0
+	for k := 0; k < s.NSLS; k++ {
+		wt := w * s.TauSigma[k]
+		sum += s.Y[k] / q * wt * wt / (1 + wt*wt)
+	}
+	return 1 + sum
+}

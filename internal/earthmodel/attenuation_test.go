@@ -1,0 +1,120 @@
+package earthmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// The SLS fit must approximate a constant Q across the band to within a
+// few percent — the property that makes memory-variable attenuation a
+// valid stand-in for constant-Q viscoelasticity.
+func TestFitAttenuationFlatQ(t *testing.T) {
+	for _, band := range [][2]float64{{0.01, 0.5}, {0.05, 1.0}, {0.001, 0.1}} {
+		fit, err := FitAttenuation(band[0], band[1], DefaultNSLS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const q = 312.0 // lower-mantle Qmu
+		for i := 0; i <= 20; i++ {
+			f := math.Exp(math.Log(band[0]) + float64(i)/20*(math.Log(band[1])-math.Log(band[0])))
+			got := fit.QInverse(f, q)
+			want := 1 / q
+			if relErr := math.Abs(got-want) / want; relErr > 0.06 {
+				t.Errorf("band %v f=%.4g: 1/Q=%.4g want %.4g (rel err %.3f)",
+					band, f, got, want, relErr)
+			}
+		}
+	}
+}
+
+func TestFitAttenuationErrors(t *testing.T) {
+	if _, err := FitAttenuation(0, 1, 3); err == nil {
+		t.Error("expected error for fmin=0")
+	}
+	if _, err := FitAttenuation(1, 0.5, 3); err == nil {
+		t.Error("expected error for inverted band")
+	}
+	if _, err := FitAttenuation(0.01, 1, 0); err == nil {
+		t.Error("expected error for 0 mechanisms")
+	}
+}
+
+func TestTauSigmaSpansBand(t *testing.T) {
+	fit, err := FitAttenuation(0.01, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relaxation frequencies 1/(2 pi tau) must cover the band edges.
+	fLow := 1 / (2 * math.Pi * fit.TauSigma[0])
+	fHigh := 1 / (2 * math.Pi * fit.TauSigma[len(fit.TauSigma)-1])
+	if math.Abs(fLow-0.01) > 1e-9 || math.Abs(fHigh-1.0) > 1e-9 {
+		t.Errorf("mechanism frequencies [%g, %g] do not span band", fLow, fHigh)
+	}
+	for k := 1; k < fit.NSLS; k++ {
+		if fit.TauSigma[k] >= fit.TauSigma[k-1] {
+			t.Error("relaxation times should decrease with mechanism index")
+		}
+	}
+}
+
+func TestMechanismCoefficients(t *testing.T) {
+	fit, err := FitAttenuation(0.02, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q, dt = 143.0, 0.05
+	alpha, beta := fit.MechanismCoefficients(q, dt)
+	for k := 0; k < fit.NSLS; k++ {
+		if alpha[k] <= 0 || alpha[k] >= 1 {
+			t.Errorf("alpha[%d] = %v outside (0,1)", k, alpha[k])
+		}
+		want := math.Exp(-dt / fit.TauSigma[k])
+		if math.Abs(alpha[k]-want) > 1e-12 {
+			t.Errorf("alpha[%d] = %v want %v", k, alpha[k], want)
+		}
+		// beta scales as y/q * (1-alpha).
+		wantBeta := fit.Y[k] / q * (1 - alpha[k])
+		if math.Abs(beta[k]-wantBeta) > 1e-15 {
+			t.Errorf("beta[%d] = %v want %v", k, beta[k], wantBeta)
+		}
+	}
+	// A memory variable driven by constant strain must converge to the
+	// steady state beta/(1-alpha) without overshoot.
+	r := 0.0
+	for step := 0; step < 10000; step++ {
+		r = alpha[0]*r + beta[0]*1.0
+	}
+	steady := beta[0] / (1 - alpha[0])
+	if math.Abs(r-steady) > 1e-9*math.Abs(steady) {
+		t.Errorf("memory variable %v did not reach steady state %v", r, steady)
+	}
+}
+
+func TestUnrelaxedFactor(t *testing.T) {
+	fit, err := FitAttenuation(0.02, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No attenuation -> factor 1.
+	if f := fit.UnrelaxedFactor(0); f != 1 {
+		t.Errorf("factor for q<=0 = %v want 1", f)
+	}
+	// Stronger attenuation (smaller q) -> larger unrelaxed modulus.
+	f600, f80 := fit.UnrelaxedFactor(600), fit.UnrelaxedFactor(80)
+	if f600 <= 1 || f80 <= f600 {
+		t.Errorf("unrelaxed factors not ordered: q=600 -> %v, q=80 -> %v", f600, f80)
+	}
+	// For mantle-like Q the dispersion correction is at the percent
+	// level, not a large distortion.
+	if f80 > 1.05 {
+		t.Errorf("unrelaxed factor %v unexpectedly large for q=80", f80)
+	}
+}
+
+func BenchmarkFitAttenuation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FitAttenuation(0.01, 1.0, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"specglobe/internal/meshfem"
+	"specglobe/internal/renumber"
+	"specglobe/internal/solver"
+	"specglobe/internal/stations"
+)
+
+// Ablation experiments for the section 4 engineering work: kernel
+// variants (4.3), element renumbering (4.2) and station location (4.4).
+
+// timedRun executes steps solver steps on a fresh mesh and returns the
+// wall time of the solve.
+func timedRun(g *meshfem.Globe, opts solver.Options) (time.Duration, error) {
+	src, err := centralSource(g)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	_, err = solver.Run(&solver.Simulation{
+		Locals: g.Locals, Plans: g.Plans, Model: testEarth(),
+		Sources: []solver.Source{src},
+		Opts:    opts,
+	})
+	return time.Since(t0), err
+}
+
+// KernelResult reproduces the section 4.3 comparison.
+type KernelResult struct {
+	Vec4, Scalar, Blas time.Duration
+	// Vec4GainPct is the speedup of the vectorized kernels over the
+	// plain loops (paper: 15-20% on SSE/Altivec).
+	Vec4GainPct float64
+	// BlasPenaltyPct is the slowdown of the BLAS path vs plain loops
+	// (the paper found BLAS "significantly slows down the code").
+	BlasPenaltyPct float64
+}
+
+// Kernels times the three force-kernel implementations on identical
+// runs.
+func Kernels(nex, steps int) (*KernelResult, error) {
+	g, err := buildGlobe(nex, 1, testEarth())
+	if err != nil {
+		return nil, err
+	}
+	out := &KernelResult{}
+	if out.Vec4, err = timedRun(g, solver.Options{Steps: steps, Kernel: solver.KernelVec4}); err != nil {
+		return nil, err
+	}
+	if out.Scalar, err = timedRun(g, solver.Options{Steps: steps, Kernel: solver.KernelScalar}); err != nil {
+		return nil, err
+	}
+	if out.Blas, err = timedRun(g, solver.Options{Steps: steps, Kernel: solver.KernelBlas}); err != nil {
+		return nil, err
+	}
+	out.Vec4GainPct = 100 * (out.Scalar.Seconds() - out.Vec4.Seconds()) / out.Scalar.Seconds()
+	out.BlasPenaltyPct = 100 * (out.Blas.Seconds() - out.Scalar.Seconds()) / out.Scalar.Seconds()
+	return out, nil
+}
+
+// String renders the kernel comparison.
+func (r *KernelResult) String() string {
+	return fmt.Sprintf(
+		"SSE20: force kernels — vec4 %v, scalar %v, blas %v\n"+
+			"  manual vectorization gain over plain loops: %.1f%% (paper: 15-20%%)\n"+
+			"  BLAS-with-copies penalty vs plain loops: %+.1f%% (paper: BLAS significantly slower)\n",
+		r.Vec4.Round(time.Millisecond), r.Scalar.Round(time.Millisecond),
+		r.Blas.Round(time.Millisecond), r.Vec4GainPct, r.BlasPenaltyPct)
+}
+
+// RenumberResult reproduces the section 4.2 sorting experiment.
+type RenumberResult struct {
+	Natural, RCM, Multilevel, Random time.Duration
+	// RCMGainPct is the gain of reverse Cuthill-McKee over the natural
+	// mesher order (paper: at most ~5%).
+	RCMGainPct float64
+	// Strides are the mean global-index strides of each ordering, the
+	// locality proxy the sort optimizes.
+	StrideNatural, StrideRCM, StrideRandom float64
+}
+
+// Renumbering times the solver under different element orderings of the
+// same mesh.
+func Renumbering(nex, steps int) (*RenumberResult, error) {
+	build := func(permute string) (*meshfem.Globe, float64, error) {
+		g, err := buildGlobe(nex, 1, testEarth())
+		if err != nil {
+			return nil, 0, err
+		}
+		var stride float64
+		for _, l := range g.Locals {
+			for _, reg := range l.Regions {
+				if reg == nil || reg.NSpec == 0 || reg.IsFluid() {
+					continue
+				}
+				adj := renumber.ElementAdjacency(reg)
+				var perm []int32
+				switch permute {
+				case "natural":
+					perm = renumber.Identity(reg.NSpec)
+				case "rcm":
+					perm = renumber.CuthillMcKee(adj)
+				case "multilevel":
+					perm = renumber.MultilevelCuthillMcKee(adj, 64)
+				case "random":
+					perm = renumber.Identity(reg.NSpec)
+					// Deterministic scramble: reverse + interleave.
+					for i, j := 0, len(perm)-1; i < j; i, j = i+2, j-2 {
+						perm[i], perm[j] = perm[j], perm[i]
+					}
+				}
+				if err := renumber.PermuteElements(reg, perm); err != nil {
+					return nil, 0, err
+				}
+				// Re-derive the first-touch point numbering for the
+				// new element order — the point renumbering of
+				// reference [7] that the paper credits as crucial.
+				if err := renumber.RenumberPoints(reg, renumber.FirstTouchPointOrder(reg)); err != nil {
+					return nil, 0, err
+				}
+				stride += renumber.MeanStride(reg, renumber.Identity(reg.NSpec))
+			}
+		}
+		return g, stride, nil
+	}
+	out := &RenumberResult{}
+	type cfg struct {
+		name string
+		tDst *time.Duration
+		sDst *float64
+	}
+	for _, c := range []cfg{
+		{"natural", &out.Natural, &out.StrideNatural},
+		{"rcm", &out.RCM, &out.StrideRCM},
+		{"multilevel", &out.Multilevel, nil},
+		{"random", &out.Random, &out.StrideRandom},
+	} {
+		g, stride, err := build(c.name)
+		if err != nil {
+			return nil, err
+		}
+		t, err := timedRun(g, solver.Options{Steps: steps})
+		if err != nil {
+			return nil, err
+		}
+		*c.tDst = t
+		if c.sDst != nil {
+			*c.sDst = stride
+		}
+	}
+	out.RCMGainPct = 100 * (out.Natural.Seconds() - out.RCM.Seconds()) / out.Natural.Seconds()
+	return out, nil
+}
+
+// String renders the renumbering comparison.
+func (r *RenumberResult) String() string {
+	return fmt.Sprintf(
+		"CM5: element orderings — natural %v, RCM %v, multilevel %v, scrambled %v\n"+
+			"  RCM gain over natural order: %+.1f%% (paper: at most ~5%%, because point\n"+
+			"  renumbering already removed most L2 misses)\n"+
+			"  mean index stride: natural %.0f, RCM %.0f, scrambled %.0f\n",
+		r.Natural.Round(time.Millisecond), r.RCM.Round(time.Millisecond),
+		r.Multilevel.Round(time.Millisecond), r.Random.Round(time.Millisecond),
+		r.RCMGainPct, r.StrideNatural, r.StrideRCM, r.StrideRandom)
+}
+
+// StationResult reproduces the section 4.4 station-location experiment.
+type StationResult struct {
+	NStations             int
+	NonlinearT, FastT     time.Duration
+	Speedup               float64
+	NonlinearErr, SnapErr float64 // worst residuals (m)
+}
+
+// StationLocation times the legacy nonlinear location of a station set
+// against the fast nearest-grid-point mode and reports the residuals.
+func StationLocation(nex, nStations int) (*StationResult, error) {
+	g, err := buildGlobe(nex, 1, testEarth())
+	if err != nil {
+		return nil, err
+	}
+	net := stations.GlobalNetwork(nStations)
+	out := &StationResult{NStations: nStations}
+
+	t0 := time.Now()
+	var nl []stations.Located
+	for _, st := range net {
+		l, err := stations.LocateNonlinear(g, st)
+		if err != nil {
+			return nil, err
+		}
+		nl = append(nl, l)
+	}
+	out.NonlinearT = time.Since(t0)
+	out.NonlinearErr = stations.MaxLocationError(nl)
+
+	t1 := time.Now()
+	var fast []stations.Located
+	for _, st := range net {
+		l, err := stations.LocateFast(g, st, true)
+		if err != nil {
+			return nil, err
+		}
+		fast = append(fast, l)
+	}
+	out.FastT = time.Since(t1)
+	out.SnapErr = stations.MaxLocationError(fast)
+	out.Speedup = out.NonlinearT.Seconds() / out.FastT.Seconds()
+	return out, nil
+}
+
+// String renders the station-location comparison.
+func (r *StationResult) String() string {
+	return fmt.Sprintf(
+		"STALOC: %d stations — legacy nonlinear %v, nearest-point %v (%.0fx faster)\n"+
+			"  residuals: nonlinear %.2g m, snapped %.4g km (shrinks ~1/NEX; negligible\n"+
+			"  at production resolutions, which is why 4.4 drops the interpolation)\n",
+		r.NStations, r.NonlinearT.Round(time.Millisecond), r.FastT.Round(time.Microsecond),
+		r.Speedup, r.NonlinearErr, r.SnapErr/1e3)
+}

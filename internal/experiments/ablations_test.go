@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKernelsComparison(t *testing.T) {
+	r, err := Kernels(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Vec4 <= 0 || r.Scalar <= 0 || r.Blas <= 0 {
+		t.Fatal("missing timings")
+	}
+	// The vectorized kernel must not lose badly to the plain loops;
+	// wall-clock noise on a shared single core justifies a generous
+	// band around the paper's +15-20%.
+	if r.Vec4GainPct < -15 {
+		t.Errorf("vec4 gain %.1f%%: vectorized kernel much slower than plain loops", r.Vec4GainPct)
+	}
+	if !strings.Contains(r.String(), "SSE20") {
+		t.Error("missing header")
+	}
+}
+
+func TestRenumberingComparison(t *testing.T) {
+	r, err := Renumbering(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's point: ordering barely matters (<= ~5%). Allow a
+	// wide noise band but catch pathological slowdowns.
+	if r.RCMGainPct < -50 || r.RCMGainPct > 50 {
+		t.Errorf("RCM gain %.1f%% outside noise band", r.RCMGainPct)
+	}
+	// The locality proxy must rank orderings correctly even when the
+	// wall clock cannot: scrambled order has worse strides than RCM.
+	if r.StrideRandom <= r.StrideRCM {
+		t.Errorf("scrambled stride %.0f not worse than RCM %.0f", r.StrideRandom, r.StrideRCM)
+	}
+	if !strings.Contains(r.String(), "CM5") {
+		t.Error("missing header")
+	}
+}
+
+func TestStationLocationComparison(t *testing.T) {
+	r, err := StationLocation(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The brute-force nonlinear search must be orders of magnitude
+	// slower than the analytic fast path.
+	if r.Speedup < 10 {
+		t.Errorf("fast path only %.1fx faster", r.Speedup)
+	}
+	// Nonlinear residual is sub-meter; the snapped residual is bounded
+	// by the grid spacing at NEX=4 (elements ~2500 km).
+	if r.NonlinearErr > 10 {
+		t.Errorf("nonlinear residual %.2f m", r.NonlinearErr)
+	}
+	if r.SnapErr <= r.NonlinearErr {
+		t.Error("snap residual should exceed the Newton residual")
+	}
+	if !strings.Contains(r.String(), "STALOC") {
+		t.Error("missing header")
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"specglobe/internal/perfmodel"
+)
+
+func TestFig5SmallScale(t *testing.T) {
+	r, err := Fig5([]int{4, 8, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The disk law must be a clear power law with exponent near 3
+	// (points scale with the cube of the resolution).
+	if r.Fit.Fit.B < 2.0 || r.Fit.Fit.B > 3.5 {
+		t.Errorf("disk exponent %.2f, expected ~2.5-3", r.Fit.Fit.B)
+	}
+	if r.Fit.R2 < 0.98 {
+		t.Errorf("poor fit R2=%.4f", r.Fit.R2)
+	}
+	// The 1 s mesh must be several times larger than the 2 s mesh
+	// (paper: 108 TB vs 14 TB, factor ~7.7; cubic law gives 8).
+	ratio := r.At1s / r.At2s
+	if ratio < 4 || ratio > 12 {
+		t.Errorf("1s/2s ratio %.1f, paper ~7.7", ratio)
+	}
+	s := r.String()
+	for _, want := range []string{"FIG5", "14 TB", "fit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFig7ScalesSuperlinearly(t *testing.T) {
+	r, err := Fig7([]int{4, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// Doubling the resolution must increase total work superlinearly
+	// (ideally ~8x; wall-clock noise on shared machines justifies a
+	// loose band).
+	if r.Rows[1].Normalized < 2 {
+		t.Errorf("runtime grew only %.1fx from NEX4 to NEX8", r.Rows[1].Normalized)
+	}
+	if len(r.PaperSeries) != 6 || r.PaperSeries[0] != 1 {
+		t.Errorf("paper series malformed: %v", r.PaperSeries)
+	}
+	// The extrapolated span must be far beyond linear (paper: ~300x
+	// over a 6.7x resolution span).
+	last := r.PaperSeries[len(r.PaperSeries)-1]
+	if last < 20 {
+		t.Errorf("normalized span %.0f too small for a superlinear law", last)
+	}
+	if !strings.Contains(r.String(), "FIG7") {
+		t.Error("missing report header")
+	}
+}
+
+func TestCommFractionSmall(t *testing.T) {
+	r, err := CommFraction([]int{4}, []int{1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	f := r.Rows[0].Fraction
+	if f < 0 || f > 0.9 {
+		t.Errorf("comm fraction %.3f implausible", f)
+	}
+	if !strings.Contains(r.String(), "COMM%") {
+		t.Error("missing header")
+	}
+}
+
+func TestMemoryModelMatchesPaperShape(t *testing.T) {
+	r, err := Memory([]int{4, 8, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fit.Fit.B < 2.0 || r.Fit.Fit.B > 3.5 {
+		t.Errorf("memory exponent %.2f", r.Fit.Fit.B)
+	}
+	// The measured 2 s mesh lands within ~30x of the paper's 37 TB
+	// (our storage layout is deliberately heavier; see MEM37 notes).
+	if r.At2s < 5e12 || r.At2s > 30*37e12 {
+		t.Errorf("2 s memory %s not within 30x of the paper's 37 TB", formatBytes(r.At2s))
+	}
+	// The calibrated model reproduces the paper's arithmetic exactly:
+	// 37 TB / 1.85 GB = 20000 cores per application.
+	if math.Abs(r.CoresAt2s-20000) > 200 {
+		t.Errorf("calibrated cores %.0f, want ~20000", r.CoresAt2s)
+	}
+	if len(r.Table6) != 6 {
+		t.Errorf("table has %d rows", len(r.Table6))
+	}
+	// Calibrated model periods must land in the paper's regime (1-6 s)
+	// on every partition.
+	for _, row := range r.Table6 {
+		if row.ModelPeriod < 1 || row.ModelPeriod > 6 {
+			t.Errorf("%s: model period %.2f s out of regime", row.Run.Machine, row.ModelPeriod)
+		}
+	}
+	if !strings.Contains(r.String(), "TAB6") {
+		t.Error("missing header")
+	}
+}
+
+func TestAttenuationFactor(t *testing.T) {
+	r, err := Attenuation(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attenuation adds memory-variable work: the factor must exceed 1
+	// and stay below ~3 (paper: 1.8).
+	if r.Factor < 1.0 || r.Factor > 3.5 {
+		t.Errorf("attenuation factor %.2f out of band (paper 1.8)", r.Factor)
+	}
+	if !strings.Contains(r.String(), "ATT1.8") {
+		t.Error("missing header")
+	}
+}
+
+func TestMesherTwoPassFactor(t *testing.T) {
+	r, err := Mesher(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The legacy mode redoes the material pass: expect a 1.2x-3x cost
+	// (paper: 2x; our geometry pass is heavier than material
+	// assignment so the factor is smaller but must be clearly > 1).
+	if r.Factor < 1.1 || r.Factor > 3.5 {
+		t.Errorf("two-pass factor %.2f out of band (paper 2x)", r.Factor)
+	}
+	if !strings.Contains(r.String(), "MESH2X") {
+		t.Error("missing header")
+	}
+}
+
+func TestIOModes(t *testing.T) {
+	r, err := IOModes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LegacyFiles != 6*51 {
+		t.Errorf("%d legacy files, want %d", r.LegacyFiles, 6*51)
+	}
+	if r.FilesAt62K < 3_200_000 {
+		t.Errorf("62K-core extrapolation %d files, paper says over 3.2M", r.FilesAt62K)
+	}
+	if r.MergedTime >= r.LegacyTime {
+		t.Errorf("merged handoff (%v) not faster than legacy I/O (%v)", r.MergedTime, r.LegacyTime)
+	}
+	if !strings.Contains(r.String(), "3.2 million") {
+		t.Error("missing paper reference")
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	s, err := LoadBalance(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Imbalance > 1.15 {
+		t.Errorf("imbalance %.3f exceeds 15%%", s.Imbalance)
+	}
+	if math.IsNaN(s.MeanElems) || s.MeanElems <= 0 {
+		t.Error("bad mean")
+	}
+}
+
+func formatBytes(b float64) string { return perfmodel.HumanBytes(b) }

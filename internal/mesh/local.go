@@ -1,0 +1,249 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"specglobe/internal/earthmodel"
+)
+
+// CoupleFace is one fluid-solid boundary face (on the CMB or ICB) shared
+// between a fluid element and a solid element on the same rank. The
+// coupling integrals evaluate at the NGLL2 face points, which coincide
+// geometrically in both regions but carry independent degrees of
+// freedom.
+type CoupleFace struct {
+	// SolidKind is the solid region involved (crust/mantle at the CMB,
+	// inner core at the ICB).
+	SolidKind earthmodel.Region
+	// SolidPt and FluidPt are the local global indices of the NGLL2
+	// coincident face points in the solid and fluid regions.
+	SolidPt [NGLL2]int32
+	FluidPt [NGLL2]int32
+	// Normal is the unit normal at each face point, oriented from the
+	// fluid into the solid.
+	Nx, Ny, Nz [NGLL2]float32
+	// Weight is the surface Jacobian times the 2D GLL weights at each
+	// face point.
+	Weight [NGLL2]float32
+}
+
+// SurfaceLoad describes the free-surface points of the crust/mantle
+// region, used for the ocean mass load approximation: instead of meshing
+// the water column, the normal component of the surface mass matrix is
+// augmented by the mass of the overlying water.
+type SurfaceLoad struct {
+	Pts        []int32   // crust/mantle local global indices
+	Nx, Ny, Nz []float32 // outward unit normal per point
+	AreaW      []float32 // assembled surface quadrature weight per point
+	WaterRho   float64   // density of sea water (kg/m^3)
+	WaterDepth float64   // water-column thickness (m); 0 disables the load
+}
+
+// Local is the complete mesh a single rank owns.
+type Local struct {
+	Rank int
+	// Regions indexed by earthmodel.Region. Entries may have NSpec == 0
+	// (e.g. the box mesher only fills crust/mantle).
+	Regions [3]*Region
+	// CMB and ICB are the fluid-solid coupling faces on this rank.
+	CMB, ICB []CoupleFace
+	// Surface is the free-surface information for the ocean load.
+	Surface SurfaceLoad
+}
+
+// Region returns the mesh for a region kind (may be an empty region).
+func (l *Local) Region(k earthmodel.Region) *Region { return l.Regions[k] }
+
+// TotalElements returns the number of spectral elements on this rank.
+func (l *Local) TotalElements() int {
+	n := 0
+	for _, r := range l.Regions {
+		if r != nil {
+			n += r.NSpec
+		}
+	}
+	return n
+}
+
+// TotalPoints returns the number of distinct local grid points across
+// regions (fluid-solid boundary points counted once per region, as they
+// are independent degrees of freedom).
+func (l *Local) TotalPoints() int {
+	n := 0
+	for _, r := range l.Regions {
+		if r != nil {
+			n += r.NGlob
+		}
+	}
+	return n
+}
+
+// HaloEdge lists, for one neighboring rank, the local global point
+// indices whose values must be exchanged and summed during assembly.
+// Both ends store the shared points in the same (key-sorted) order.
+type HaloEdge struct {
+	Peer int
+	Idx  []int32
+}
+
+// HaloPlan is a rank's communication plan: for each region, the edges to
+// every rank it shares points with.
+type HaloPlan struct {
+	Rank  int
+	Edges [3][]HaloEdge // indexed by earthmodel.Region
+}
+
+// NeighborCount returns the number of distinct peer ranks across all
+// regions.
+func (h *HaloPlan) NeighborCount() int {
+	seen := map[int]bool{}
+	for _, edges := range h.Edges {
+		for _, e := range edges {
+			seen[e.Peer] = true
+		}
+	}
+	return len(seen)
+}
+
+// BoundaryPoints returns the total number of shared point slots in the
+// plan (one per (region, peer, point)).
+func (h *HaloPlan) BoundaryPoints() int {
+	n := 0
+	for _, edges := range h.Edges {
+		for _, e := range edges {
+			n += len(e.Idx)
+		}
+	}
+	return n
+}
+
+// BuildHalo computes the communication plans for a set of rank-local
+// meshes. It matches points by exact coordinate key: a point held by
+// several ranks in the same region becomes a shared assembly point on
+// every pair of owners. Shared lists are ordered by key so both ends of
+// an edge agree on the ordering without communication.
+//
+// In the original code the mesher constructs these buffers from the
+// known cubed-sphere topology; building them from the authoritative
+// point keys is equivalent and also covers the central-cube sectoring.
+func BuildHalo(locals []*Local) ([]*HaloPlan, error) {
+	plans := make([]*HaloPlan, len(locals))
+	for i, l := range locals {
+		if l.Rank != i {
+			return nil, fmt.Errorf("mesh: locals[%d] has rank %d", i, l.Rank)
+		}
+		plans[i] = &HaloPlan{Rank: i}
+	}
+	type owner struct {
+		rank int
+		idx  int32
+	}
+	for kind := 0; kind < 3; kind++ {
+		byKey := make(map[PointKey][]owner)
+		for _, l := range locals {
+			r := l.Regions[kind]
+			if r == nil || r.NSpec == 0 {
+				continue
+			}
+			// A point is a halo candidate only if it can lie on the
+			// slice boundary; scanning all points keeps this simple
+			// and correct (interior points have a single owner).
+			for idx, p := range r.Pts {
+				k := KeyOf(p[0], p[1], p[2])
+				byKey[k] = append(byKey[k], owner{rank: l.Rank, idx: int32(idx)})
+			}
+		}
+		type pairKey struct{ a, b int }
+		type sharedPt struct {
+			key    PointKey
+			ia, ib int32
+		}
+		pairPts := make(map[pairKey][]sharedPt)
+		for k, owners := range byKey {
+			if len(owners) < 2 {
+				continue
+			}
+			for x := 0; x < len(owners); x++ {
+				for y := x + 1; y < len(owners); y++ {
+					a, b := owners[x], owners[y]
+					if a.rank == b.rank {
+						return nil, fmt.Errorf("mesh: region %d: rank %d indexed point %v twice",
+							kind, a.rank, k)
+					}
+					if a.rank > b.rank {
+						a, b = b, a
+					}
+					pk := pairKey{a.rank, b.rank}
+					pairPts[pk] = append(pairPts[pk], sharedPt{key: k, ia: a.idx, ib: b.idx})
+				}
+			}
+		}
+		// Deterministic edge ordering: sort pairs, and points by key.
+		pairs := make([]pairKey, 0, len(pairPts))
+		for pk := range pairPts {
+			pairs = append(pairs, pk)
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].a != pairs[j].a {
+				return pairs[i].a < pairs[j].a
+			}
+			return pairs[i].b < pairs[j].b
+		})
+		for _, pk := range pairs {
+			pts := pairPts[pk]
+			sort.Slice(pts, func(i, j int) bool {
+				ki, kj := pts[i].key, pts[j].key
+				if ki[0] != kj[0] {
+					return ki[0] < kj[0]
+				}
+				if ki[1] != kj[1] {
+					return ki[1] < kj[1]
+				}
+				return ki[2] < kj[2]
+			})
+			ea := HaloEdge{Peer: pk.b, Idx: make([]int32, len(pts))}
+			eb := HaloEdge{Peer: pk.a, Idx: make([]int32, len(pts))}
+			for i, p := range pts {
+				ea.Idx[i] = p.ia
+				eb.Idx[i] = p.ib
+			}
+			plans[pk.a].Edges[kind] = append(plans[pk.a].Edges[kind], ea)
+			plans[pk.b].Edges[kind] = append(plans[pk.b].Edges[kind], eb)
+		}
+	}
+	return plans, nil
+}
+
+// LoadStats summarizes element counts across ranks, the load-balance
+// measure the paper's mesh design work optimizes.
+type LoadStats struct {
+	MinElems, MaxElems int
+	MeanElems          float64
+	// Imbalance is MaxElems / MeanElems; 1.0 is perfect balance.
+	Imbalance float64
+}
+
+// ComputeLoadStats returns the element-count balance across ranks.
+func ComputeLoadStats(locals []*Local) LoadStats {
+	if len(locals) == 0 {
+		return LoadStats{}
+	}
+	s := LoadStats{MinElems: int(^uint(0) >> 1)}
+	total := 0
+	for _, l := range locals {
+		n := l.TotalElements()
+		total += n
+		if n < s.MinElems {
+			s.MinElems = n
+		}
+		if n > s.MaxElems {
+			s.MaxElems = n
+		}
+	}
+	s.MeanElems = float64(total) / float64(len(locals))
+	if s.MeanElems > 0 {
+		s.Imbalance = float64(s.MaxElems) / s.MeanElems
+	}
+	return s
+}

@@ -1,0 +1,184 @@
+package meshfem
+
+import (
+	"math"
+
+	"specglobe/internal/cubedsphere"
+	"specglobe/internal/gll"
+	"specglobe/internal/mesh"
+)
+
+// Element geometry evaluation. Shell elements use the analytic gnomonic
+// mapping; central-cube elements use the spherified-cube blend with
+// numerical Jacobians. All point positions flow through the same
+// endpoint-exact interpolation so that coincident points of adjacent
+// elements (also across chunks and across the cube surface) are
+// bit-identical — the property the exact-key global numbering needs.
+
+// gllS holds the GLL reference positions mapped to [0, 1] lerp factors.
+var gllS = func() [gll.NGLL]float64 {
+	var s [gll.NGLL]float64
+	for i, x := range gll.Points(gll.Degree) {
+		s[i] = (x + 1) / 2
+	}
+	// Pin the endpoints so lerp returns interval bounds exactly.
+	s[0], s[gll.NGLL-1] = 0, 1
+	return s
+}()
+
+// gllW holds the GLL quadrature weights.
+var gllW = func() [gll.NGLL]float64 {
+	var w [gll.NGLL]float64
+	copy(w[:], gll.Weights(gll.Degree, gll.Points(gll.Degree)))
+	return w
+}()
+
+// shellPoint returns the physical position of the GLL node with lerp
+// factors (sa, sb, sr) inside the shell element spanning tangent ranges
+// [a0,a1]x[b0,b1] and radii [r0,r1] on the given chunk.
+func shellPoint(face cubedsphere.Face, a0, a1, b0, b1, r0, r1, sa, sb, sr float64) cubedsphere.Vec3 {
+	a := lerp(a0, a1, sa)
+	b := lerp(b0, b1, sb)
+	r := lerp(r0, r1, sr)
+	return cubedsphere.DirectionTan(face, a, b).Scale(r)
+}
+
+// shellJacobian returns the Jacobian matrix columns dP/dxi^, dP/deta^,
+// dP/dzeta^ at the same node, from the analytic derivatives of the
+// gnomonic mapping.
+func shellJacobian(face cubedsphere.Face, a0, a1, b0, b1, r0, r1, sa, sb, sr float64) [3]cubedsphere.Vec3 {
+	a := lerp(a0, a1, sa)
+	b := lerp(b0, b1, sb)
+	r := lerp(r0, r1, sr)
+	n, u, v := face.Triad()
+	d := n.Add(u.Scale(a)).Add(v.Scale(b))
+	L := d.Norm()
+	dir := d.Scale(1 / L)
+	// d(dir)/da = (u - dir (dir.u)) / L, likewise for b.
+	dda := u.Sub(dir.Scale(dir.Dot(u))).Scale(1 / L)
+	ddb := v.Sub(dir.Scale(dir.Dot(v))).Scale(1 / L)
+	return [3]cubedsphere.Vec3{
+		dda.Scale(r * (a1 - a0) / 2),
+		ddb.Scale(r * (b1 - b0) / 2),
+		dir.Scale((r1 - r0) / 2),
+	}
+}
+
+// cubePoint returns the physical position of the GLL node with lerp
+// factors (sa, sb, sc) inside the central-cube cell spanning tangent
+// ranges [a0,a1]x[b0,b1]x[c0,c1], for cube radius rcc.
+func cubePoint(a0, a1, b0, b1, c0, c1, rcc, sa, sb, sc float64) cubedsphere.Vec3 {
+	q := cubedsphere.Vec3{lerp(a0, a1, sa), lerp(b0, b1, sb), lerp(c0, c1, sc)}
+	return cubedsphere.CubePoint(q, rcc)
+}
+
+// cubeJacobian computes the Jacobian columns of the cube mapping by
+// central differences in the reference coordinates (the spherified-cube
+// blend is only piecewise smooth, so numerical differentiation is the
+// robust choice).
+func cubeJacobian(a0, a1, b0, b1, c0, c1, rcc, sa, sb, sc float64) [3]cubedsphere.Vec3 {
+	const h = 1e-6
+	var cols [3]cubedsphere.Vec3
+	s := [3]float64{sa, sb, sc}
+	for c := 0; c < 3; c++ {
+		sp, sm := s, s
+		sp[c] += h
+		sm[c] -= h
+		pp := cubePoint(a0, a1, b0, b1, c0, c1, rcc, sp[0], sp[1], sp[2])
+		pm := cubePoint(a0, a1, b0, b1, c0, c1, rcc, sm[0], sm[1], sm[2])
+		// d(lerp factor)/d(reference coord) = 1/2.
+		cols[c] = pp.Sub(pm).Scale(1 / (2 * h * 2))
+	}
+	return cols
+}
+
+// invert3x3 inverts the matrix whose columns are the Jacobian vectors
+// and returns the rows of the inverse (the reference-coordinate
+// gradients) plus the determinant.
+func invert3x3(cols [3]cubedsphere.Vec3) (rows [3]cubedsphere.Vec3, det float64) {
+	m := [3][3]float64{
+		{cols[0][0], cols[1][0], cols[2][0]},
+		{cols[0][1], cols[1][1], cols[2][1]},
+		{cols[0][2], cols[1][2], cols[2][2]},
+	}
+	c00 := m[1][1]*m[2][2] - m[1][2]*m[2][1]
+	c01 := m[1][2]*m[2][0] - m[1][0]*m[2][2]
+	c02 := m[1][0]*m[2][1] - m[1][1]*m[2][0]
+	det = m[0][0]*c00 + m[0][1]*c01 + m[0][2]*c02
+	inv := 1 / det
+	rows[0] = cubedsphere.Vec3{c00 * inv, (m[0][2]*m[2][1] - m[0][1]*m[2][2]) * inv, (m[0][1]*m[1][2] - m[0][2]*m[1][1]) * inv}
+	rows[1] = cubedsphere.Vec3{c01 * inv, (m[0][0]*m[2][2] - m[0][2]*m[2][0]) * inv, (m[0][2]*m[1][0] - m[0][0]*m[1][2]) * inv}
+	rows[2] = cubedsphere.Vec3{c02 * inv, (m[0][1]*m[2][0] - m[0][0]*m[2][1]) * inv, (m[0][0]*m[1][1] - m[0][1]*m[1][0]) * inv}
+	return rows, det
+}
+
+// elemGeom is a callback bundle describing one element's mapping.
+type elemGeom struct {
+	point    func(sa, sb, sr float64) cubedsphere.Vec3
+	jacobian func(sa, sb, sr float64) [3]cubedsphere.Vec3
+	// radiusAt returns the material-evaluation radius for a radial lerp
+	// factor, clamped inside the element so discontinuity-adjacent
+	// elements sample their own side.
+	radiusAt func(sr float64) float64
+}
+
+// fillElement writes geometry (positions, inverse mapping, JacW) for
+// element e of region r, registering points in the indexer.
+func fillElement(r *mesh.Region, pi *mesh.PointIndexer, e int, g elemGeom) {
+	for k := 0; k < mesh.NGLL; k++ {
+		for j := 0; j < mesh.NGLL; j++ {
+			for i := 0; i < mesh.NGLL; i++ {
+				ip := mesh.Idx(e, i, j, k)
+				p := g.point(gllS[i], gllS[j], gllS[k])
+				r.Ibool[ip] = pi.Index(p[0], p[1], p[2])
+				cols := g.jacobian(gllS[i], gllS[j], gllS[k])
+				rows, det := invert3x3(cols)
+				if det <= 0 {
+					// Meshing bug; fail loudly with context.
+					panic("meshfem: non-positive Jacobian determinant")
+				}
+				r.Xix[ip] = float32(rows[0][0])
+				r.Xiy[ip] = float32(rows[0][1])
+				r.Xiz[ip] = float32(rows[0][2])
+				r.Etax[ip] = float32(rows[1][0])
+				r.Etay[ip] = float32(rows[1][1])
+				r.Etaz[ip] = float32(rows[1][2])
+				r.Gamx[ip] = float32(rows[2][0])
+				r.Gamy[ip] = float32(rows[2][1])
+				r.Gamz[ip] = float32(rows[2][2])
+				r.Jac[ip] = float32(det)
+				r.JacW[ip] = float32(det * gllW[i] * gllW[j] * gllW[k])
+			}
+		}
+	}
+}
+
+// faceQuad evaluates the outward-radial surface quadrature of the
+// (sr = const) face of a shell element: unit normals (the radial
+// direction) and area weights |dP/dxi^ x dP/deta^| * w_i w_j at the
+// NGLL2 face points.
+func faceQuad(face cubedsphere.Face, a0, a1, b0, b1, r0, r1, sr float64) (normal [mesh.NGLL2]cubedsphere.Vec3, weight [mesh.NGLL2]float64) {
+	for j := 0; j < mesh.NGLL; j++ {
+		for i := 0; i < mesh.NGLL; i++ {
+			cols := shellJacobian(face, a0, a1, b0, b1, r0, r1, gllS[i], gllS[j], sr)
+			cr := cols[0].Cross(cols[1])
+			area := cr.Norm()
+			n := cr.Normalize()
+			// Orient outward (away from the center).
+			p := shellPoint(face, a0, a1, b0, b1, r0, r1, gllS[i], gllS[j], sr)
+			if n.Dot(p) < 0 {
+				n = n.Scale(-1)
+			}
+			q := i + mesh.NGLL*j
+			normal[q] = n
+			weight[q] = area * gllW[i] * gllW[j]
+		}
+	}
+	return normal, weight
+}
+
+// sphericalShellVolume is the analytic volume between two radii, used by
+// mesher self-checks.
+func sphericalShellVolume(r0, r1 float64) float64 {
+	return 4.0 / 3.0 * math.Pi * (r1*r1*r1 - r0*r0*r0)
+}

@@ -1,0 +1,156 @@
+package meshfem
+
+import (
+	"math"
+
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/gll"
+)
+
+// Radial layering: each region (crust/mantle, outer core, inner-core
+// shell) is split into element layers whose boundaries snap to the
+// model's first-order discontinuities where the mesh is fine enough to
+// honor them, and whose thicknesses track the lateral element size so
+// aspect ratios stay reasonable. (The production code additionally uses
+// mesh-doubling layers to keep the lateral size roughly constant with
+// depth; this reproduction keeps a single angular resolution — a
+// documented substitution in DESIGN.md.)
+
+// lateralSize returns the approximate lateral element extent at radius r
+// for nex elements per chunk side.
+func lateralSize(r float64, nex int) float64 {
+	return r * (math.Pi / 2) / float64(nex)
+}
+
+// buildRadialNodes returns the ascending element-boundary radii for a
+// region spanning [rBot, rTop], given the model discontinuities that
+// fall strictly inside the region.
+func buildRadialNodes(rBot, rTop float64, discs []float64, nex int) []float64 {
+	// Keep a discontinuity only when the mesh can afford an element
+	// layer on both sides of it: at least minFrac of the local lateral
+	// size away from the previous kept boundary and from the region top.
+	const minFrac = 0.25
+	kept := []float64{rBot}
+	for _, d := range discs {
+		if d <= rBot || d >= rTop {
+			continue
+		}
+		minThick := minFrac * lateralSize(d, nex)
+		if d-kept[len(kept)-1] >= minThick && rTop-d >= minThick {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, rTop)
+
+	// Subdivide each kept interval so element radial thickness tracks
+	// the lateral size at the interval midpoint.
+	var nodes []float64
+	for s := 0; s+1 < len(kept); s++ {
+		r0, r1 := kept[s], kept[s+1]
+		mid := 0.5 * (r0 + r1)
+		n := int(math.Round((r1 - r0) / lateralSize(mid, nex)))
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, lerp(r0, r1, float64(i)/float64(n)))
+		}
+	}
+	nodes = append(nodes, rTop)
+	return nodes
+}
+
+// lerp interpolates endpoint-exactly: lerp(lo, hi, 0) == lo and
+// lerp(lo, hi, 1) == hi bit-for-bit, which the exact-key global
+// numbering relies on.
+func lerp(lo, hi, s float64) float64 { return lo*(1-s) + hi*s }
+
+// regionSpec describes one region the mesher must build.
+type regionSpec struct {
+	kind        earthmodel.Region
+	rBot, rTop  float64
+	withCube    bool // innermost solid region also receives the central cube
+	radialNodes []float64
+}
+
+// planRegions derives the region list for a model: three regions plus a
+// central cube for Earth-like models, or a single solid region with a
+// central cube for models without a fluid core.
+func planRegions(model earthmodel.Model, nex int, cubeFrac float64) []regionSpec {
+	surf := model.SurfaceRadius()
+	icb, cmb := model.ICB(), model.CMB()
+	discs := model.Discontinuities()
+
+	discsIn := func(lo, hi float64) []float64 {
+		var out []float64
+		for _, d := range discs {
+			if d > lo && d < hi {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+
+	if icb > 0 && cmb > icb {
+		rcc := cubeFrac * icb
+		specs := []regionSpec{
+			{kind: earthmodel.RegionCrustMantle, rBot: cmb, rTop: surf},
+			{kind: earthmodel.RegionOuterCore, rBot: icb, rTop: cmb},
+			{kind: earthmodel.RegionInnerCore, rBot: rcc, rTop: icb, withCube: true},
+		}
+		for i := range specs {
+			specs[i].radialNodes = buildRadialNodes(
+				specs[i].rBot, specs[i].rTop,
+				discsIn(specs[i].rBot, specs[i].rTop), nex)
+		}
+		return specs
+	}
+
+	// Solid ball: one crust/mantle region down to the cube surface.
+	rcc := cubeFrac * surf * 0.3
+	spec := regionSpec{
+		kind: earthmodel.RegionCrustMantle, rBot: rcc, rTop: surf, withCube: true,
+		radialNodes: buildRadialNodes(rcc, surf, discsIn(rcc, surf), nex),
+	}
+	return []regionSpec{spec}
+}
+
+// estimatedShortestPeriod returns the shortest resolvable seismic period
+// for the built mesh: the paper's rule of at least 5 grid points per
+// shortest wavelength, evaluated where the mesh is coarsest relative to
+// the local shear velocity (P velocity in the fluid).
+func estimatedShortestPeriod(model earthmodel.Model, specs []regionSpec, nex int) float64 {
+	const pointsPerWavelength = 5.0
+	worst := 0.0
+	// GLL points divide an element edge into NGLL-1 intervals; the
+	// average interval is edge/(NGLL-1). Use the average (the standard
+	// resolution rule), not the smallest.
+	for _, sp := range specs {
+		nodes := sp.radialNodes
+		for l := 0; l+1 < len(nodes); l++ {
+			rMid := 0.5 * (nodes[l] + nodes[l+1])
+			m := model.At(rMid)
+			vMin := m.Vs
+			if vMin == 0 {
+				vMin = m.Vp
+			}
+			dxLat := lateralSize(rMid, nex) / float64(gll.Degree)
+			dxRad := (nodes[l+1] - nodes[l]) / float64(gll.Degree)
+			dx := math.Max(dxLat, dxRad)
+			if t := pointsPerWavelength * dx / vMin; t > worst {
+				worst = t
+			}
+		}
+	}
+	return worst
+}
+
+// PaperResolutionPeriod converts a NEX_XI resolution to the shortest
+// seismic period in seconds using the paper's rule of thumb
+// "Resolution = 256*17 / Wave Period" (figure 5 caption).
+func PaperResolutionPeriod(nex int) float64 { return 256.0 * 17.0 / float64(nex) }
+
+// PaperPeriodResolution is the inverse of PaperResolutionPeriod.
+func PaperPeriodResolution(period float64) int {
+	return int(math.Round(256.0 * 17.0 / period))
+}

@@ -1,0 +1,169 @@
+package meshfem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"specglobe/internal/cubedsphere"
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/mesh"
+)
+
+// Point location: map a physical position (direction + radius) to the
+// owning rank, region, element and reference coordinates. The cubed
+// sphere makes this analytic for shell regions — the "simpler algorithm
+// to locate seismic recording stations" of section 4.4 relies on the
+// same structure. Central-cube positions invert the spherified-cube
+// blend along the ray with a bisection.
+
+// Location identifies a physical point within the distributed mesh.
+type Location struct {
+	Rank int
+	Kind earthmodel.Region
+	Elem int        // local element index within the region
+	Ref  [3]float64 // reference coordinates in [-1, 1]^3
+	Pos  cubedsphere.Vec3
+}
+
+// Locate maps a direction (need not be normalized) and radius in meters
+// to a mesh location.
+func (g *Globe) Locate(dir cubedsphere.Vec3, radius float64) (Location, error) {
+	dir = dir.Normalize()
+	if dir.Norm() == 0 {
+		return Location{}, fmt.Errorf("meshfem: zero direction")
+	}
+	surf := g.Cfg.Model.SurfaceRadius()
+	if radius <= 0 || radius > surf {
+		return Location{}, fmt.Errorf("meshfem: radius %g outside (0, %g]", radius, surf)
+	}
+	if g.rcc > 0 && radius < g.rcc {
+		return g.locateCube(dir, radius)
+	}
+	// Find the region and radial layer.
+	for si := range g.specs {
+		sp := &g.specs[si]
+		if radius < sp.rBot || radius > sp.rTop {
+			continue
+		}
+		nodes := sp.radialNodes
+		l := sort.SearchFloat64s(nodes, radius) - 1
+		if l < 0 {
+			l = 0
+		}
+		if l > len(nodes)-2 {
+			l = len(nodes) - 2
+		}
+		zeta := 2*(radius-nodes[l])/(nodes[l+1]-nodes[l]) - 1
+
+		face := cubedsphere.FaceOf(dir)
+		xi, eta := cubedsphere.XiEta(face, dir)
+		i, refXi := g.tanCell(math.Tan(xi))
+		j, refEta := g.tanCell(math.Tan(eta))
+		rank := g.Decomp.RankOf(cubedsphere.Slice{
+			Chunk: face,
+			PXi:   g.Decomp.SliceOfElem(i),
+			PEta:  g.Decomp.SliceOfElem(j),
+		})
+		return Location{
+			Rank: rank,
+			Kind: sp.kind,
+			Elem: g.shellElemIndex(rank, i, j, l),
+			Ref:  [3]float64{refXi, refEta, zeta},
+			Pos:  dir.Scale(radius),
+		}, nil
+	}
+	return Location{}, fmt.Errorf("meshfem: radius %g not covered by any region", radius)
+}
+
+// LocateLatLonDepth is Locate in geographic coordinates (degrees, meters
+// of depth below the surface).
+func (g *Globe) LocateLatLonDepth(latDeg, lonDeg, depth float64) (Location, error) {
+	return g.Locate(cubedsphere.LatLon(latDeg, lonDeg), g.Cfg.Model.SurfaceRadius()-depth)
+}
+
+// tanCell finds the tangent-grid cell containing value a and the
+// reference coordinate within it.
+func (g *Globe) tanCell(a float64) (cell int, ref float64) {
+	n := len(g.tan) - 1
+	cell = sort.SearchFloat64s(g.tan, a) - 1
+	if cell < 0 {
+		cell = 0
+	}
+	if cell > n-1 {
+		cell = n - 1
+	}
+	ref = 2*(a-g.tan[cell])/(g.tan[cell+1]-g.tan[cell]) - 1
+	if ref < -1 {
+		ref = -1
+	}
+	if ref > 1 {
+		ref = 1
+	}
+	return cell, ref
+}
+
+// locateCube inverts the spherified-cube mapping along the ray through
+// dir at the target radius.
+func (g *Globe) locateCube(dir cubedsphere.Vec3, radius float64) (Location, error) {
+	// Parameterize cube points along the ray as q = t*q0 with
+	// max|q0| = 1; the physical radius grows monotonically with t.
+	q0 := dir.Scale(1 / dir.MaxAbs())
+	target := radius / g.rcc
+	radiusOf := func(t float64) float64 {
+		return cubedsphere.CubePoint(q0.Scale(t), 1).Norm()
+	}
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 80; iter++ {
+		mid := 0.5 * (lo + hi)
+		if radiusOf(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := 0.5 * (lo + hi)
+	q := q0.Scale(t)
+
+	// Cell indices and reference coordinates per axis.
+	var cells [3]int
+	var ref [3]float64
+	for c := 0; c < 3; c++ {
+		cells[c], ref[c] = g.tanCell(q[c])
+	}
+	owner := g.Decomp.CentralCubeOwner(cells[0], cells[1], cells[2])
+	// Element index: cube cells append after the shell elements in the
+	// owner's cubeCells order.
+	elem := -1
+	for idx, cell := range g.cubeCells[owner] {
+		if cell == cells {
+			elem = g.cubeBase[owner] + idx
+			break
+		}
+	}
+	if elem < 0 {
+		return Location{}, fmt.Errorf("meshfem: cube cell %v not found on rank %d", cells, owner)
+	}
+	return Location{
+		Rank: owner,
+		Kind: g.cubeReg,
+		Elem: elem,
+		Ref:  ref,
+		Pos:  dir.Scale(radius),
+	}, nil
+}
+
+// PointAt evaluates the mesh geometry at a location by GLL interpolation
+// of the stored element point coordinates; used by tests to verify
+// Locate and by interpolated seismogram recording.
+func (g *Globe) PointAt(loc Location) (cubedsphere.Vec3, error) {
+	if loc.Rank < 0 || loc.Rank >= len(g.Locals) {
+		return cubedsphere.Vec3{}, fmt.Errorf("meshfem: bad rank %d", loc.Rank)
+	}
+	reg := g.Locals[loc.Rank].Regions[loc.Kind]
+	if reg == nil || loc.Elem < 0 || loc.Elem >= reg.NSpec {
+		return cubedsphere.Vec3{}, fmt.Errorf("meshfem: bad element %d", loc.Elem)
+	}
+	p := mesh.InterpolateGeometry(reg, loc.Elem, loc.Ref)
+	return cubedsphere.Vec3{p[0], p[1], p[2]}, nil
+}

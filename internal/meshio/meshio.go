@@ -1,0 +1,468 @@
+// Package meshio implements the two mesher-to-solver handoff modes the
+// paper contrasts in section 4.1:
+//
+//   - the legacy mode of the stable 4.0 code, where MESHFEM3D writes a
+//     per-core database of up to 51 files that SPECFEM3D then reads
+//     back (over 3.2 million files at 62K cores), and
+//   - the merged mode, where mesher and solver are one program and the
+//     mesh is handed over in memory with zero I/O.
+//
+// The legacy serialization is a real, lossless binary format so that
+// the disk-space measurements behind figure 5 come from actual bytes.
+package meshio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/mesh"
+)
+
+// LegacyFilesPerCore is the number of database files the legacy mode
+// writes for a rank whose mesh has all three regions: 16 array files per
+// region plus the header, boundary and surface files — the "up to 51
+// files per core" of section 4.1.
+const LegacyFilesPerCore = 3*16 + 3
+
+// Stats accounts for one handoff.
+type Stats struct {
+	Files int
+	Bytes int64
+}
+
+// regionArrayNames lists the 16 per-region array files in a fixed order.
+var regionArrayNames = []string{
+	"ibool", "pts",
+	"xix", "xiy", "xiz", "etax", "etay", "etaz", "gamx", "gamy", "gamz",
+	"jac", "jacw", "rho", "kappa", "mu",
+}
+
+const magic = uint32(0x53504543) // "SPEC"
+
+// WriteRankDatabase writes a rank's mesh and halo plan to dir in the
+// legacy multi-file format and returns the file/byte accounting.
+func WriteRankDatabase(dir string, local *mesh.Local, plan *mesh.HaloPlan) (Stats, error) {
+	var st Stats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return st, err
+	}
+	write := func(name string, emit func(w *bufio.Writer) error) error {
+		path := filepath.Join(dir, fmt.Sprintf("proc%06d_%s.bin", local.Rank, name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		if err := emit(w); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		st.Files++
+		st.Bytes += info.Size()
+		return f.Close()
+	}
+
+	// Header: magic, rank, per-region sizes, Q arrays, halo plan.
+	err := write("header", func(w *bufio.Writer) error {
+		putU32(w, magic)
+		putU32(w, uint32(local.Rank))
+		for kind := 0; kind < 3; kind++ {
+			r := local.Regions[kind]
+			if r == nil {
+				putU32(w, 0)
+				putU32(w, 0)
+				continue
+			}
+			putU32(w, uint32(r.NSpec))
+			putU32(w, uint32(r.NGlob))
+			putF32s(w, r.Qmu)
+			putF32s(w, r.Qkappa)
+		}
+		for kind := 0; kind < 3; kind++ {
+			edges := plan.Edges[kind]
+			putU32(w, uint32(len(edges)))
+			for _, e := range edges {
+				putU32(w, uint32(e.Peer))
+				putI32s(w, e.Idx)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+
+	for kind := 0; kind < 3; kind++ {
+		r := local.Regions[kind]
+		if r == nil || r.NSpec == 0 {
+			continue
+		}
+		arrays := map[string][]float32{
+			"xix": r.Xix, "xiy": r.Xiy, "xiz": r.Xiz,
+			"etax": r.Etax, "etay": r.Etay, "etaz": r.Etaz,
+			"gamx": r.Gamx, "gamy": r.Gamy, "gamz": r.Gamz,
+			"jac": r.Jac, "jacw": r.JacW,
+			"rho": r.Rho, "kappa": r.Kappa, "mu": r.Mu,
+		}
+		for _, name := range regionArrayNames {
+			fileName := fmt.Sprintf("reg%d_%s", kind, name)
+			switch name {
+			case "ibool":
+				if err := write(fileName, func(w *bufio.Writer) error {
+					putI32s(w, r.Ibool)
+					return nil
+				}); err != nil {
+					return st, err
+				}
+			case "pts":
+				if err := write(fileName, func(w *bufio.Writer) error {
+					for _, p := range r.Pts {
+						putU64(w, math.Float64bits(p[0]))
+						putU64(w, math.Float64bits(p[1]))
+						putU64(w, math.Float64bits(p[2]))
+					}
+					return nil
+				}); err != nil {
+					return st, err
+				}
+			default:
+				a := arrays[name]
+				if err := write(fileName, func(w *bufio.Writer) error {
+					putF32s(w, a)
+					return nil
+				}); err != nil {
+					return st, err
+				}
+			}
+		}
+	}
+
+	// Boundary file: coupling faces.
+	err = write("boundary", func(w *bufio.Writer) error {
+		for _, faces := range [][]mesh.CoupleFace{local.CMB, local.ICB} {
+			putU32(w, uint32(len(faces)))
+			for i := range faces {
+				cf := &faces[i]
+				putU32(w, uint32(cf.SolidKind))
+				putI32s(w, cf.SolidPt[:])
+				putI32s(w, cf.FluidPt[:])
+				putF32s(w, cf.Nx[:])
+				putF32s(w, cf.Ny[:])
+				putF32s(w, cf.Nz[:])
+				putF32s(w, cf.Weight[:])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+
+	// Surface file: ocean-load data.
+	err = write("surface", func(w *bufio.Writer) error {
+		sl := &local.Surface
+		putU32(w, uint32(len(sl.Pts)))
+		putI32s(w, sl.Pts)
+		putF32s(w, sl.Nx)
+		putF32s(w, sl.Ny)
+		putF32s(w, sl.Nz)
+		putF32s(w, sl.AreaW)
+		putU64(w, math.Float64bits(sl.WaterRho))
+		putU64(w, math.Float64bits(sl.WaterDepth))
+		return nil
+	})
+	return st, err
+}
+
+// ReadRankDatabase reads back a rank's database written by
+// WriteRankDatabase. The returned mesh is bit-identical to the written
+// one.
+func ReadRankDatabase(dir string, rank int) (*mesh.Local, *mesh.HaloPlan, error) {
+	open := func(name string) (*bufio.Reader, *os.File, error) {
+		path := filepath.Join(dir, fmt.Sprintf("proc%06d_%s.bin", rank, name))
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return bufio.NewReader(f), f, nil
+	}
+
+	local := &mesh.Local{Rank: rank}
+	plan := &mesh.HaloPlan{Rank: rank}
+
+	r, f, err := open("header")
+	if err != nil {
+		return nil, nil, err
+	}
+	if got := getU32(r); got != magic {
+		f.Close()
+		return nil, nil, fmt.Errorf("meshio: bad magic %x", got)
+	}
+	if got := getU32(r); int(got) != rank {
+		f.Close()
+		return nil, nil, fmt.Errorf("meshio: header is for rank %d, want %d", got, rank)
+	}
+	var nspecs, nglobs [3]int
+	for kind := 0; kind < 3; kind++ {
+		nspecs[kind] = int(getU32(r))
+		nglobs[kind] = int(getU32(r))
+		reg := mesh.NewRegion(earthmodel.Region(kind), nspecs[kind])
+		reg.NGlob = nglobs[kind]
+		if nspecs[kind] > 0 || nglobs[kind] > 0 {
+			getF32s(r, reg.Qmu)
+			getF32s(r, reg.Qkappa)
+		}
+		local.Regions[kind] = reg
+	}
+	for kind := 0; kind < 3; kind++ {
+		nEdges := int(getU32(r))
+		for e := 0; e < nEdges; e++ {
+			edge := mesh.HaloEdge{Peer: int(getU32(r))}
+			edge.Idx = getI32sAlloc(r)
+			plan.Edges[kind] = append(plan.Edges[kind], edge)
+		}
+	}
+	f.Close()
+
+	for kind := 0; kind < 3; kind++ {
+		reg := local.Regions[kind]
+		if reg.NSpec == 0 {
+			continue
+		}
+		reg.Pts = make([][3]float64, reg.NGlob)
+		arrays := map[string][]float32{
+			"xix": reg.Xix, "xiy": reg.Xiy, "xiz": reg.Xiz,
+			"etax": reg.Etax, "etay": reg.Etay, "etaz": reg.Etaz,
+			"gamx": reg.Gamx, "gamy": reg.Gamy, "gamz": reg.Gamz,
+			"jac": reg.Jac, "jacw": reg.JacW,
+			"rho": reg.Rho, "kappa": reg.Kappa, "mu": reg.Mu,
+		}
+		for _, name := range regionArrayNames {
+			rr, ff, err := open(fmt.Sprintf("reg%d_%s", kind, name))
+			if err != nil {
+				return nil, nil, err
+			}
+			switch name {
+			case "ibool":
+				getI32s(rr, reg.Ibool)
+			case "pts":
+				for i := range reg.Pts {
+					reg.Pts[i][0] = math.Float64frombits(getU64(rr))
+					reg.Pts[i][1] = math.Float64frombits(getU64(rr))
+					reg.Pts[i][2] = math.Float64frombits(getU64(rr))
+				}
+			default:
+				getF32s(rr, arrays[name])
+			}
+			ff.Close()
+		}
+		reg.AssembleMassLocal()
+	}
+
+	r, f, err = open("boundary")
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, target := range []*[]mesh.CoupleFace{&local.CMB, &local.ICB} {
+		n := int(getU32(r))
+		for i := 0; i < n; i++ {
+			var cf mesh.CoupleFace
+			cf.SolidKind = earthmodel.Region(getU32(r))
+			getI32s(r, cf.SolidPt[:])
+			getI32s(r, cf.FluidPt[:])
+			getF32s(r, cf.Nx[:])
+			getF32s(r, cf.Ny[:])
+			getF32s(r, cf.Nz[:])
+			getF32s(r, cf.Weight[:])
+			*target = append(*target, cf)
+		}
+	}
+	f.Close()
+
+	r, f, err = open("surface")
+	if err != nil {
+		return nil, nil, err
+	}
+	sl := &local.Surface
+	n := int(getU32(r))
+	sl.Pts = make([]int32, n)
+	sl.Nx = make([]float32, n)
+	sl.Ny = make([]float32, n)
+	sl.Nz = make([]float32, n)
+	sl.AreaW = make([]float32, n)
+	getI32s(r, sl.Pts)
+	getF32s(r, sl.Nx)
+	getF32s(r, sl.Ny)
+	getF32s(r, sl.Nz)
+	getF32s(r, sl.AreaW)
+	sl.WaterRho = math.Float64frombits(getU64(r))
+	sl.WaterDepth = math.Float64frombits(getU64(r))
+	f.Close()
+
+	return local, plan, nil
+}
+
+// WriteAllRanks writes the whole distributed mesh and returns aggregate
+// accounting — the legacy handoff of the stable 4.0 code.
+func WriteAllRanks(dir string, locals []*mesh.Local, plans []*mesh.HaloPlan) (Stats, error) {
+	var st Stats
+	for i, l := range locals {
+		s, err := WriteRankDatabase(dir, l, plans[i])
+		if err != nil {
+			return st, err
+		}
+		st.Files += s.Files
+		st.Bytes += s.Bytes
+	}
+	return st, nil
+}
+
+// ReadAllRanks reads a complete legacy database back.
+func ReadAllRanks(dir string, nRanks int) ([]*mesh.Local, []*mesh.HaloPlan, error) {
+	locals := make([]*mesh.Local, nRanks)
+	plans := make([]*mesh.HaloPlan, nRanks)
+	for rank := 0; rank < nRanks; rank++ {
+		l, p, err := ReadRankDatabase(dir, rank)
+		if err != nil {
+			return nil, nil, err
+		}
+		locals[rank] = l
+		plans[rank] = p
+	}
+	return locals, plans, nil
+}
+
+// MergedHandoff is the in-memory handoff of the merged application: it
+// performs no I/O and reports the bytes that stayed in memory instead of
+// crossing the filesystem (what the merge of section 4.1 eliminated).
+func MergedHandoff(locals []*mesh.Local) Stats {
+	var st Stats
+	for _, l := range locals {
+		st.Bytes += MeshBytes(l)
+	}
+	return st // Files stays 0: no intermediate files at all
+}
+
+// MeshBytes returns the in-memory footprint of a rank's mesh arrays,
+// used by the merged-mode accounting and the section 4 memory model
+// (37 TB at the 2-second resolution).
+func MeshBytes(l *mesh.Local) int64 {
+	var b int64
+	for _, r := range l.Regions {
+		if r == nil {
+			continue
+		}
+		b += int64(4 * len(r.Ibool))
+		b += int64(24 * len(r.Pts))
+		for _, a := range [][]float32{
+			r.Xix, r.Xiy, r.Xiz, r.Etax, r.Etay, r.Etaz,
+			r.Gamx, r.Gamy, r.Gamz, r.Jac, r.JacW,
+			r.Rho, r.Kappa, r.Mu, r.Qmu, r.Qkappa, r.Mass,
+		} {
+			b += int64(4 * len(a))
+		}
+	}
+	b += int64(len(l.CMB)+len(l.ICB)) * int64(4*(1+2*mesh.NGLL2+4*mesh.NGLL2))
+	b += int64(len(l.Surface.Pts)) * 20
+	return b
+}
+
+// binary helpers (little endian, like the Fortran unformatted files the
+// original code writes on these machines)
+
+func putU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func putU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func putF32s(w *bufio.Writer, a []float32) {
+	putU32(w, uint32(len(a)))
+	for _, v := range a {
+		putU32(w, math.Float32bits(v))
+	}
+}
+
+func putI32s(w *bufio.Writer, a []int32) {
+	putU32(w, uint32(len(a)))
+	for _, v := range a {
+		putU32(w, uint32(v))
+	}
+}
+
+func getU32(r *bufio.Reader) uint32 {
+	var b [4]byte
+	if _, err := readFull(r, b[:]); err != nil {
+		panic(fmt.Sprintf("meshio: short read: %v", err))
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func getU64(r *bufio.Reader) uint64 {
+	var b [8]byte
+	if _, err := readFull(r, b[:]); err != nil {
+		panic(fmt.Sprintf("meshio: short read: %v", err))
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func getF32s(r *bufio.Reader, a []float32) {
+	n := int(getU32(r))
+	if n != len(a) {
+		panic(fmt.Sprintf("meshio: array length %d, want %d", n, len(a)))
+	}
+	for i := range a {
+		a[i] = math.Float32frombits(getU32(r))
+	}
+}
+
+func getI32s(r *bufio.Reader, a []int32) {
+	n := int(getU32(r))
+	if n != len(a) {
+		panic(fmt.Sprintf("meshio: array length %d, want %d", n, len(a)))
+	}
+	for i := range a {
+		a[i] = int32(getU32(r))
+	}
+}
+
+func getI32sAlloc(r *bufio.Reader) []int32 {
+	n := int(getU32(r))
+	a := make([]int32, n)
+	for i := range a {
+		a[i] = int32(getU32(r))
+	}
+	return a
+}
+
+func readFull(r *bufio.Reader, b []byte) (int, error) {
+	total := 0
+	for total < len(b) {
+		n, err := r.Read(b[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,249 @@
+package meshio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/meshfem"
+)
+
+func buildGlobe(t testing.TB, nex int) *meshfem.Globe {
+	t.Helper()
+	model := earthmodel.NewHomogeneous(6371e3, earthmodel.Material{
+		Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+	})
+	model.ICBRadius = 1221.5e3
+	model.CMBRadius = 3480e3
+	g, err := meshfem.Build(meshfem.Config{NexXi: nex, NProcXi: 1, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRoundTripBitExact(t *testing.T) {
+	g := buildGlobe(t, 4)
+	dir := t.TempDir()
+	if _, err := WriteRankDatabase(dir, g.Locals[0], g.Plans[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, gotPlan, err := ReadRankDatabase(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Locals[0]
+	for kind := 0; kind < 3; kind++ {
+		a, b := want.Regions[kind], got.Regions[kind]
+		if a.NSpec != b.NSpec || a.NGlob != b.NGlob {
+			t.Fatalf("region %d sizes differ: %d/%d vs %d/%d", kind, a.NSpec, a.NGlob, b.NSpec, b.NGlob)
+		}
+		for i := range a.Ibool {
+			if a.Ibool[i] != b.Ibool[i] {
+				t.Fatalf("region %d ibool differs at %d", kind, i)
+			}
+		}
+		for i := range a.Pts {
+			if a.Pts[i] != b.Pts[i] {
+				t.Fatalf("region %d point %d differs", kind, i)
+			}
+		}
+		for name, pair := range map[string][2][]float32{
+			"xix": {a.Xix, b.Xix}, "jacw": {a.JacW, b.JacW},
+			"rho": {a.Rho, b.Rho}, "mu": {a.Mu, b.Mu},
+			"qmu": {a.Qmu, b.Qmu}, "mass": {a.Mass, b.Mass},
+		} {
+			for i := range pair[0] {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("region %d %s differs at %d", kind, name, i)
+				}
+			}
+		}
+	}
+	if len(got.CMB) != len(want.CMB) || len(got.ICB) != len(want.ICB) {
+		t.Fatal("coupling faces lost")
+	}
+	for i := range want.CMB {
+		if want.CMB[i] != got.CMB[i] {
+			t.Fatalf("CMB face %d differs", i)
+		}
+	}
+	if len(got.Surface.Pts) != len(want.Surface.Pts) {
+		t.Fatal("surface lost")
+	}
+	if got.Surface.WaterDepth != want.Surface.WaterDepth {
+		t.Fatal("water depth lost")
+	}
+	// Halo plan round trip.
+	for kind := 0; kind < 3; kind++ {
+		a, b := g.Plans[0].Edges[kind], gotPlan.Edges[kind]
+		if len(a) != len(b) {
+			t.Fatalf("plan region %d: %d vs %d edges", kind, len(a), len(b))
+		}
+		for e := range a {
+			if a[e].Peer != b[e].Peer || len(a[e].Idx) != len(b[e].Idx) {
+				t.Fatalf("plan edge %d differs", e)
+			}
+			for i := range a[e].Idx {
+				if a[e].Idx[i] != b[e].Idx[i] {
+					t.Fatalf("plan edge %d idx %d differs", e, i)
+				}
+			}
+		}
+	}
+}
+
+// A full three-region rank must produce exactly the "up to 51 files per
+// core" of section 4.1.
+func TestLegacyFileCount(t *testing.T) {
+	g := buildGlobe(t, 4)
+	dir := t.TempDir()
+	st, err := WriteRankDatabase(dir, g.Locals[0], g.Plans[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != LegacyFilesPerCore {
+		t.Errorf("wrote %d files, want %d", st.Files, LegacyFilesPerCore)
+	}
+	if LegacyFilesPerCore != 51 {
+		t.Errorf("LegacyFilesPerCore = %d, paper says 51", LegacyFilesPerCore)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != st.Files {
+		t.Errorf("%d files on disk, accounting says %d", len(entries), st.Files)
+	}
+	if st.Bytes <= 0 {
+		t.Error("no bytes accounted")
+	}
+	// Accounting must match the filesystem.
+	var onDisk int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk += info.Size()
+	}
+	if onDisk != st.Bytes {
+		t.Errorf("on-disk bytes %d != accounted %d", onDisk, st.Bytes)
+	}
+}
+
+func TestWriteAllAndReadAll(t *testing.T) {
+	g := buildGlobe(t, 4)
+	dir := t.TempDir()
+	st, err := WriteAllRanks(dir, g.Locals, g.Plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 6*LegacyFilesPerCore {
+		t.Errorf("total files %d, want %d", st.Files, 6*LegacyFilesPerCore)
+	}
+	locals, plans, err := ReadAllRanks(dir, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locals) != 6 || len(plans) != 6 {
+		t.Fatal("wrong rank count")
+	}
+	for rank, l := range locals {
+		if l.Rank != rank {
+			t.Errorf("rank %d mislabeled", rank)
+		}
+		if l.TotalElements() != g.Locals[rank].TotalElements() {
+			t.Errorf("rank %d element count changed", rank)
+		}
+	}
+}
+
+// Disk usage must grow with resolution (the raw observation behind
+// figure 5).
+func TestBytesGrowWithResolution(t *testing.T) {
+	dir4 := t.TempDir()
+	dir8 := t.TempDir()
+	g4 := buildGlobe(t, 4)
+	g8 := buildGlobe(t, 8)
+	st4, err := WriteAllRanks(dir4, g4.Locals, g4.Plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st8, err := WriteAllRanks(dir8, g8.Locals, g8.Plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(st8.Bytes) / float64(st4.Bytes)
+	// Doubling NEX should multiply data volume by roughly 2^3 = 8
+	// (points scale with NEX^3); accept a broad band because radial
+	// layer counts do not scale exactly.
+	if ratio < 4 || ratio > 16 {
+		t.Errorf("bytes ratio NEX8/NEX4 = %.2f, expected ~8", ratio)
+	}
+}
+
+// The merged handoff must move the same order of data with zero files.
+func TestMergedHandoff(t *testing.T) {
+	g := buildGlobe(t, 4)
+	st := MergedHandoff(g.Locals)
+	if st.Files != 0 {
+		t.Errorf("merged mode wrote %d files", st.Files)
+	}
+	if st.Bytes <= 0 {
+		t.Error("merged mode accounted no bytes")
+	}
+	dir := t.TempDir()
+	legacy, err := WriteAllRanks(dir, g.Locals, g.Plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-memory and on-disk sizes are the same order of magnitude.
+	r := float64(st.Bytes) / float64(legacy.Bytes)
+	if r < 0.5 || r > 2 {
+		t.Errorf("memory/disk byte ratio %.2f unexpectedly far from 1", r)
+	}
+}
+
+func TestReadMissingDatabase(t *testing.T) {
+	if _, _, err := ReadRankDatabase(t.TempDir(), 0); err == nil {
+		t.Error("reading a missing database succeeded")
+	}
+}
+
+func TestReadWrongRank(t *testing.T) {
+	g := buildGlobe(t, 4)
+	dir := t.TempDir()
+	if _, err := WriteRankDatabase(dir, g.Locals[2], g.Plans[2]); err != nil {
+		t.Fatal(err)
+	}
+	// Rename rank 2's header to rank 0 to simulate a mixed-up database.
+	old := filepath.Join(dir, "proc000002_header.bin")
+	niu := filepath.Join(dir, "proc000000_header.bin")
+	if err := os.Rename(old, niu); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadRankDatabase(dir, 0); err == nil {
+		t.Error("mismatched rank header accepted")
+	}
+}
+
+func BenchmarkLegacyWrite(b *testing.B) {
+	g := buildGlobe(b, 4)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WriteRankDatabase(dir, g.Locals[0], g.Plans[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergedHandoff(b *testing.B) {
+	g := buildGlobe(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MergedHandoff(g.Locals)
+	}
+}

@@ -1,0 +1,415 @@
+// Package mpi is an in-process message-passing runtime that stands in for
+// MPI in this reproduction. Each rank runs as a goroutine; point-to-point
+// messages and collectives are implemented over shared queues with
+// condition variables.
+//
+// The substitution (documented in DESIGN.md) preserves the communication
+// structure of SPECFEM3D_GLOBE — non-blocking halo sends, tag-matched
+// receives, barriers and reductions — while running on a single machine.
+// Every communication call is accounted (bytes, message count, blocked
+// time) so the IPM-style measurements of the paper's section 5 can be
+// reproduced: communication time in the main solver loop as a fraction
+// of total execution time.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AnySource matches messages from any sending rank in Recv.
+const AnySource = -1
+
+// Default virtual interconnect parameters, SeaStar2-class (the XT4
+// machines of the paper): per-message latency and sustained link
+// bandwidth. Because the simulated ranks share one host, wall-clock
+// blocking measures scheduler contention rather than the network; the
+// runtime therefore also accounts a deterministic *virtual* network
+// time per rank (latency + bytes/bandwidth at each endpoint), which is
+// what the IPM-style communication measurements report.
+const (
+	DefaultLinkLatency   = 5e-6  // seconds per message endpoint
+	DefaultLinkBandwidth = 2.0e9 // bytes per second
+)
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	src, tag int
+	data     []float32
+}
+
+// World is a communicator spanning a fixed number of ranks.
+type World struct {
+	n     int
+	comms []*Comm
+
+	// central barrier state
+	barMu    sync.Mutex
+	barCond  *sync.Cond
+	barCount int
+	barGen   int
+
+	// collective (reduce/gather) state
+	colMu    sync.Mutex
+	colCond  *sync.Cond
+	colGen   int
+	colCount int
+	colParts [][]float64
+	colOut   []float64
+}
+
+// NewWorld creates a communicator with n ranks.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic(fmt.Sprintf("mpi: world size must be >= 1, got %d", n))
+	}
+	w := &World{n: n}
+	w.barCond = sync.NewCond(&w.barMu)
+	w.colCond = sync.NewCond(&w.colMu)
+	w.comms = make([]*Comm, n)
+	for i := range w.comms {
+		c := &Comm{world: w, rank: i}
+		c.cond = sync.NewCond(&c.mu)
+		w.comms[i] = c
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Comm returns the communicator endpoint for a rank.
+func (w *World) Comm(rank int) *Comm { return w.comms[rank] }
+
+// Run executes body once per rank, each in its own goroutine, and blocks
+// until all ranks return. A panic in any rank is re-raised in the caller
+// after the others finish, so test failures surface instead of hanging.
+func (w *World) Run(body func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.n)
+	for r := 0; r < w.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					// Unblock peers waiting on this rank so the
+					// program fails instead of deadlocking.
+					w.poison()
+				}
+			}()
+			body(w.comms[rank])
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+// poison wakes every waiter; used after a rank panic.
+func (w *World) poison() {
+	for _, c := range w.comms {
+		c.mu.Lock()
+		c.poisoned = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+	w.barMu.Lock()
+	w.barCond.Broadcast()
+	w.barMu.Unlock()
+	w.colMu.Lock()
+	w.colCond.Broadcast()
+	w.colMu.Unlock()
+}
+
+// Stats aggregates communication accounting across all ranks.
+type Stats struct {
+	BytesSent int64
+	Messages  int64
+	// CommTime is the total wall time all ranks spent inside
+	// communication calls (sends, blocked receives, barriers,
+	// collectives). On an oversubscribed host this mostly measures
+	// scheduling, so performance models use VirtualCommTime instead.
+	CommTime time.Duration
+	// VirtualCommTime is the modeled network time: per message,
+	// latency plus payload/bandwidth charged at each endpoint — the
+	// quantity IPM reports as "total MPI time by all processors".
+	VirtualCommTime time.Duration
+	// MaxRankCommTime is the largest per-rank wall communication time.
+	MaxRankCommTime time.Duration
+}
+
+// Stats returns the aggregate communication statistics for the world.
+func (w *World) Stats() Stats {
+	var s Stats
+	for _, c := range w.comms {
+		cs := c.Stats()
+		s.BytesSent += cs.BytesSent
+		s.Messages += cs.Messages
+		s.CommTime += cs.CommTime
+		s.VirtualCommTime += cs.VirtualCommTime
+		if cs.CommTime > s.MaxRankCommTime {
+			s.MaxRankCommTime = cs.CommTime
+		}
+	}
+	return s
+}
+
+// Comm is one rank's endpoint into the world.
+type Comm struct {
+	world *World
+	rank  int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []message
+	poisoned bool
+
+	statMu    sync.Mutex
+	bytesSent int64
+	messages  int64
+	commTime  time.Duration
+	vcommTime time.Duration
+}
+
+// Rank returns this endpoint's rank id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.n }
+
+// Stats returns this rank's communication accounting.
+func (c *Comm) Stats() Stats {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return Stats{BytesSent: c.bytesSent, Messages: c.messages,
+		CommTime: c.commTime, VirtualCommTime: c.vcommTime}
+}
+
+// ResetStats zeroes the communication counters (used to scope accounting
+// to the solver main loop, as IPM does).
+func (c *Comm) ResetStats() {
+	c.statMu.Lock()
+	c.bytesSent, c.messages, c.commTime, c.vcommTime = 0, 0, 0, 0
+	c.statMu.Unlock()
+}
+
+func (c *Comm) addComm(bytes int64, msgs int64, d time.Duration) {
+	c.statMu.Lock()
+	c.bytesSent += bytes
+	c.messages += msgs
+	c.commTime += d
+	if msgs > 0 || bytes > 0 {
+		v := float64(msgs)*DefaultLinkLatency + float64(bytes)/DefaultLinkBandwidth
+		c.vcommTime += time.Duration(v * float64(time.Second))
+	}
+	c.statMu.Unlock()
+}
+
+// chargeVirtualRecv accounts the receiving endpoint's share of a
+// message: latency plus payload transfer time.
+func (c *Comm) chargeVirtualRecv(bytes int) {
+	c.statMu.Lock()
+	v := DefaultLinkLatency + float64(bytes)/DefaultLinkBandwidth
+	c.vcommTime += time.Duration(v * float64(time.Second))
+	c.statMu.Unlock()
+}
+
+// Isend posts a non-blocking send of data to rank dst with the given tag.
+// The payload is copied, so the caller may reuse data immediately
+// (MPI_Isend + eager buffering semantics).
+func (c *Comm) Isend(dst, tag int, data []float32) {
+	start := time.Now()
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	d := c.world.comms[dst]
+	d.mu.Lock()
+	d.queue = append(d.queue, message{src: c.rank, tag: tag, data: cp})
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	c.addComm(int64(4*len(data)), 1, time.Since(start))
+}
+
+// Recv blocks until a message with matching source and tag arrives and
+// returns its payload. src may be AnySource.
+func (c *Comm) Recv(src, tag int) []float32 {
+	start := time.Now()
+	c.mu.Lock()
+	for {
+		if c.poisoned {
+			c.mu.Unlock()
+			panic("mpi: world poisoned by peer rank failure")
+		}
+		for i := range c.queue {
+			m := c.queue[i]
+			if m.tag == tag && (src == AnySource || m.src == src) {
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				c.mu.Unlock()
+				c.addComm(0, 0, time.Since(start))
+				c.chargeVirtualRecv(4 * len(m.data))
+				return m.data
+			}
+		}
+		c.cond.Wait()
+	}
+}
+
+// SendRecv exchanges payloads with a partner rank using the same tag in
+// both directions — the halo-exchange primitive.
+func (c *Comm) SendRecv(partner, tag int, send []float32) []float32 {
+	c.Isend(partner, tag, send)
+	return c.Recv(partner, tag)
+}
+
+// Barrier blocks until all ranks reach it.
+func (c *Comm) Barrier() {
+	start := time.Now()
+	w := c.world
+	w.barMu.Lock()
+	gen := w.barGen
+	w.barCount++
+	if w.barCount == w.n {
+		w.barCount = 0
+		w.barGen++
+		w.barCond.Broadcast()
+	} else {
+		for w.barGen == gen && !c.poisonedLocked() {
+			w.barCond.Wait()
+		}
+	}
+	w.barMu.Unlock()
+	c.addComm(0, 0, time.Since(start))
+}
+
+func (c *Comm) poisonedLocked() bool {
+	c.mu.Lock()
+	p := c.poisoned
+	c.mu.Unlock()
+	return p
+}
+
+// ReduceOp selects the elementwise reduction applied by Allreduce.
+type ReduceOp int
+
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// Allreduce combines buf elementwise across all ranks and returns the
+// result (identical on every rank). Contributions are reduced in rank
+// order, so results are bitwise deterministic run to run.
+func (c *Comm) Allreduce(op ReduceOp, buf []float64) []float64 {
+	start := time.Now()
+	w := c.world
+	w.colMu.Lock()
+	if w.colParts == nil {
+		w.colParts = make([][]float64, w.n)
+	}
+	gen := w.colGen
+	cp := make([]float64, len(buf))
+	copy(cp, buf)
+	w.colParts[c.rank] = cp
+	w.colCount++
+	if w.colCount == w.n {
+		out := make([]float64, len(buf))
+		copy(out, w.colParts[0])
+		for r := 1; r < w.n; r++ {
+			p := w.colParts[r]
+			if len(p) != len(out) {
+				w.colMu.Unlock()
+				panic("mpi: allreduce length mismatch across ranks")
+			}
+			for i := range out {
+				switch op {
+				case OpSum:
+					out[i] += p[i]
+				case OpMax:
+					if p[i] > out[i] {
+						out[i] = p[i]
+					}
+				case OpMin:
+					if p[i] < out[i] {
+						out[i] = p[i]
+					}
+				}
+			}
+		}
+		w.colOut = out
+		w.colCount = 0
+		w.colGen++
+		for r := range w.colParts {
+			w.colParts[r] = nil
+		}
+		w.colCond.Broadcast()
+	} else {
+		for w.colGen == gen && !c.poisonedLocked() {
+			w.colCond.Wait()
+		}
+	}
+	res := make([]float64, len(buf))
+	copy(res, w.colOut)
+	w.colMu.Unlock()
+	c.addComm(int64(8*len(buf)), 1, time.Since(start))
+	return res
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func (c *Comm) AllreduceScalar(op ReduceOp, v float64) float64 {
+	return c.Allreduce(op, []float64{v})[0]
+}
+
+// Gather collects each rank's payload at root (rank 0 by convention of
+// the callers); non-root ranks receive nil. Payload lengths may differ
+// across ranks.
+func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	// Transport float64 exactly over the float32 message queue by bit-
+	// splitting each value into two 32-bit carrier halves.
+	u := float64sToCarrier(data)
+	if c.rank != root {
+		c.Isend(root, tagGather, u)
+		c.Barrier()
+		return nil
+	}
+	out := make([][]float64, c.world.n)
+	out[root] = append([]float64(nil), data...)
+	for r := 0; r < c.world.n; r++ {
+		if r == root {
+			continue
+		}
+		out[r] = carrierToFloat64s(c.Recv(r, tagGather))
+	}
+	c.Barrier()
+	return out
+}
+
+const tagGather = -7001
+
+// float64sToCarrier packs float64 values into a []float32 carrier by bit
+// reinterpretation (two 32-bit halves per value), exact round trip.
+func float64sToCarrier(data []float64) []float32 {
+	out := make([]float32, 2*len(data))
+	for i, v := range data {
+		bits := f64bits(v)
+		out[2*i] = f32frombits(uint32(bits >> 32))
+		out[2*i+1] = f32frombits(uint32(bits))
+	}
+	return out
+}
+
+// carrierToFloat64s reverses float64sToCarrier.
+func carrierToFloat64s(c []float32) []float64 {
+	out := make([]float64, len(c)/2)
+	for i := range out {
+		hi := uint64(f32bits(c[2*i]))
+		lo := uint64(f32bits(c[2*i+1]))
+		out[i] = f64frombits(hi<<32 | lo)
+	}
+	return out
+}

@@ -1,0 +1,334 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingPass(t *testing.T) {
+	const n = 8
+	w := NewWorld(n)
+	results := make([]float32, n)
+	w.Run(func(c *Comm) {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		c.Isend(next, 1, []float32{float32(c.Rank())})
+		got := c.Recv(prev, 1)
+		results[c.Rank()] = got[0]
+	})
+	for r := 0; r < n; r++ {
+		want := float32((r + n - 1) % n)
+		if results[r] != want {
+			t.Errorf("rank %d received %v want %v", r, results[r], want)
+		}
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	w := NewWorld(2)
+	var gotA, gotB []float32
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			// Send tag 2 first, then tag 1: receiver asks in the
+			// opposite order and must match by tag, not arrival.
+			c.Isend(1, 2, []float32{22})
+			c.Isend(1, 1, []float32{11})
+		} else {
+			gotA = c.Recv(0, 1)
+			gotB = c.Recv(0, 2)
+		}
+	})
+	if gotA[0] != 11 || gotB[0] != 22 {
+		t.Errorf("tag matching failed: got %v %v", gotA, gotB)
+	}
+}
+
+func TestAnySource(t *testing.T) {
+	const n = 5
+	w := NewWorld(n)
+	var sum float32
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 1; i < n; i++ {
+				sum += c.Recv(AnySource, 3)[0]
+			}
+		} else {
+			c.Isend(0, 3, []float32{float32(c.Rank())})
+		}
+	})
+	if sum != 1+2+3+4 {
+		t.Errorf("any-source sum = %v", sum)
+	}
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	w := NewWorld(2)
+	out := make([]float32, 2)
+	w.Run(func(c *Comm) {
+		partner := 1 - c.Rank()
+		got := c.SendRecv(partner, 9, []float32{float32(10 + c.Rank())})
+		out[c.Rank()] = got[0]
+	})
+	if out[0] != 11 || out[1] != 10 {
+		t.Errorf("exchange got %v", out)
+	}
+}
+
+func TestIsendCopiesPayload(t *testing.T) {
+	w := NewWorld(2)
+	var got []float32
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float32{1, 2, 3}
+			c.Isend(1, 0, buf)
+			buf[0] = 99 // must not affect the in-flight message
+			c.Barrier()
+		} else {
+			c.Barrier()
+			got = c.Recv(0, 0)
+		}
+	})
+	if got[0] != 1 {
+		t.Errorf("payload aliased: got %v", got)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const n = 7
+	w := NewWorld(n)
+	results := make([][]float64, n)
+	w.Run(func(c *Comm) {
+		buf := []float64{float64(c.Rank()), 1}
+		results[c.Rank()] = c.Allreduce(OpSum, buf)
+	})
+	wantSum := float64(n*(n-1)) / 2
+	for r := 0; r < n; r++ {
+		if results[r][0] != wantSum || results[r][1] != n {
+			t.Errorf("rank %d allreduce got %v", r, results[r])
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	const n = 6
+	w := NewWorld(n)
+	maxs := make([]float64, n)
+	mins := make([]float64, n)
+	w.Run(func(c *Comm) {
+		v := float64(c.Rank()*c.Rank()) - 3
+		maxs[c.Rank()] = c.AllreduceScalar(OpMax, v)
+		mins[c.Rank()] = c.AllreduceScalar(OpMin, v)
+	})
+	for r := 0; r < n; r++ {
+		if maxs[r] != 22 || mins[r] != -3 {
+			t.Errorf("rank %d max=%v min=%v", r, maxs[r], mins[r])
+		}
+	}
+}
+
+// Successive collectives must not interfere (generation handling).
+func TestRepeatedCollectives(t *testing.T) {
+	const n, iters = 4, 50
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		for it := 0; it < iters; it++ {
+			got := c.AllreduceScalar(OpSum, float64(it))
+			if got != float64(n*it) {
+				t.Errorf("iter %d: got %v want %v", it, got, n*it)
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	const n = 6
+	w := NewWorld(n)
+	var mu sync.Mutex
+	phase1 := 0
+	violated := false
+	w.Run(func(c *Comm) {
+		mu.Lock()
+		phase1++
+		mu.Unlock()
+		c.Barrier()
+		mu.Lock()
+		if phase1 != n {
+			violated = true
+		}
+		mu.Unlock()
+	})
+	if violated {
+		t.Error("a rank passed the barrier before all ranks arrived")
+	}
+}
+
+func TestGather(t *testing.T) {
+	const n = 5
+	w := NewWorld(n)
+	var got [][]float64
+	w.Run(func(c *Comm) {
+		data := make([]float64, c.Rank()+1) // ragged payloads
+		for i := range data {
+			data[i] = float64(c.Rank()) + float64(i)/10
+		}
+		res := c.Gather(0, data)
+		if c.Rank() == 0 {
+			got = res
+		} else if res != nil {
+			t.Errorf("non-root rank %d got non-nil gather result", c.Rank())
+		}
+	})
+	for r := 0; r < n; r++ {
+		if len(got[r]) != r+1 {
+			t.Fatalf("rank %d payload len %d want %d", r, len(got[r]), r+1)
+		}
+		for i, v := range got[r] {
+			want := float64(r) + float64(i)/10
+			if v != want {
+				t.Errorf("gather[%d][%d] = %v want %v", r, i, v, want)
+			}
+		}
+	}
+}
+
+// The float64 carrier encoding must round-trip exactly, including
+// negative zero, infinities and NaN payload bits.
+func TestCarrierRoundTrip(t *testing.T) {
+	special := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.Pi, -1e-300, 1e300}
+	got := carrierToFloat64s(float64sToCarrier(special))
+	for i, v := range special {
+		if math.Float64bits(got[i]) != math.Float64bits(v) {
+			t.Errorf("round trip %v -> %v", v, got[i])
+		}
+	}
+	f := func(v float64) bool {
+		r := carrierToFloat64s(float64sToCarrier([]float64{v}))
+		return math.Float64bits(r[0]) == math.Float64bits(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Isend(1, 0, make([]float32, 100))
+		} else {
+			c.Recv(0, 0)
+		}
+		c.Barrier()
+	})
+	s := w.Stats()
+	if s.BytesSent != 400 {
+		t.Errorf("bytes sent %d want 400", s.BytesSent)
+	}
+	if s.Messages != 1 {
+		t.Errorf("messages %d want 1", s.Messages)
+	}
+	if s.CommTime <= 0 {
+		t.Errorf("comm time %v not positive", s.CommTime)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Isend(1, 0, make([]float32, 10))
+		} else {
+			c.Recv(0, 0)
+		}
+		c.ResetStats()
+	})
+	if s := w.Stats(); s.BytesSent != 0 || s.Messages != 0 {
+		t.Errorf("stats not reset: %+v", s)
+	}
+}
+
+func TestRankPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic to propagate from failed rank")
+		}
+	}()
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("simulated node failure")
+		}
+		// Other ranks block on a message that never arrives; the
+		// poison must wake them so Run can re-raise the panic.
+		c.Recv(1, 5)
+	})
+}
+
+func TestNewWorldPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+// Stress: random pairwise exchanges must all complete (no lost messages,
+// no deadlock) across many goroutines.
+func TestManyRanksStress(t *testing.T) {
+	const n = 24
+	w := NewWorld(n)
+	rng := rand.New(rand.NewSource(42))
+	// Random permutation pairing: rank i exchanges with perm[i] where
+	// perm is an involution.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	order := rng.Perm(n)
+	for i := 0; i+1 < n; i += 2 {
+		a, b := order[i], order[i+1]
+		perm[a], perm[b] = b, a
+	}
+	w.Run(func(c *Comm) {
+		p := perm[c.Rank()]
+		if p < 0 {
+			return
+		}
+		for iter := 0; iter < 20; iter++ {
+			got := c.SendRecv(p, iter, []float32{float32(c.Rank()*1000 + iter)})
+			want := float32(p*1000 + iter)
+			if got[0] != want {
+				t.Errorf("rank %d iter %d: got %v want %v", c.Rank(), iter, got[0], want)
+			}
+		}
+	})
+}
+
+func BenchmarkHaloExchange(b *testing.B) {
+	const n = 4
+	w := NewWorld(n)
+	payload := make([]float32, 1500) // typical face buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(c *Comm) {
+			partner := c.Rank() ^ 1
+			c.SendRecv(partner, 0, payload)
+		})
+	}
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	const n = 8
+	w := NewWorld(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(c *Comm) {
+			c.AllreduceScalar(OpSum, 1)
+		})
+	}
+}

@@ -1,0 +1,208 @@
+// Package perf provides the performance instrumentation the paper's
+// measurements rely on: per-rank phase timers in the style of IPM
+// (Integrated Performance Monitoring — communication vs. computation
+// time in the solver main loop) and analytic floating-point operation
+// counting in the style of PSiNSlight (the tool used to measure the
+// sustained Tflops figures of section 6).
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase labels one accounted section of the solver loop.
+type Phase int
+
+const (
+	PhaseForceSolid Phase = iota
+	PhaseForceFluid
+	PhaseComm
+	PhaseUpdate
+	PhaseOther
+	numPhases
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseForceSolid:
+		return "force_solid"
+	case PhaseForceFluid:
+		return "force_fluid"
+	case PhaseComm:
+		return "mpi"
+	case PhaseUpdate:
+		return "update"
+	case PhaseOther:
+		return "other"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Profiler accumulates per-rank timings and flop counts. It is not
+// concurrency-safe: each rank owns one Profiler.
+type Profiler struct {
+	Rank    int
+	phases  [numPhases]time.Duration
+	flops   int64
+	started time.Time
+	total   time.Duration
+}
+
+// NewProfiler returns a profiler for one rank.
+func NewProfiler(rank int) *Profiler { return &Profiler{Rank: rank} }
+
+// Start marks the beginning of the accounted section (the solver main
+// loop, in IPM terms).
+func (p *Profiler) Start() { p.started = time.Now() }
+
+// Stop closes the accounted section.
+func (p *Profiler) Stop() { p.total = time.Since(p.started) }
+
+// Time runs f and charges its duration to the phase.
+func (p *Profiler) Time(ph Phase, f func()) {
+	t0 := time.Now()
+	f()
+	p.phases[ph] += time.Since(t0)
+}
+
+// Add charges a duration measured externally (e.g. by the mpi runtime).
+func (p *Profiler) Add(ph Phase, d time.Duration) { p.phases[ph] += d }
+
+// AddFlops counts floating-point operations performed.
+func (p *Profiler) AddFlops(n int64) { p.flops += n }
+
+// Flops returns the accumulated operation count.
+func (p *Profiler) Flops() int64 { return p.flops }
+
+// PhaseTime returns the accumulated time in a phase.
+func (p *Profiler) PhaseTime(ph Phase) time.Duration { return p.phases[ph] }
+
+// Total returns the wall time between Start and Stop.
+func (p *Profiler) Total() time.Duration { return p.total }
+
+// Report aggregates profilers across ranks, the way IPM summarizes a
+// parallel run.
+type Report struct {
+	Ranks int
+	// WallTime is the longest per-rank wall time (the run's critical
+	// path).
+	WallTime time.Duration
+	// TotalTime is the sum of wall times over ranks ("total time for
+	// all cores" in the paper's models).
+	TotalTime time.Duration
+	// PhaseTotals sums each phase over all ranks.
+	PhaseTotals map[string]time.Duration
+	// BusyTime is the sum over ranks of all accounted phases (compute
+	// plus communication). The communication phase is the virtual
+	// network time (see internal/mpi), so fractions are meaningful even
+	// when ranks are goroutines sharing one host.
+	BusyTime time.Duration
+	// CommFraction is communication time over busy time — the quantity
+	// the paper reports as 1.9%-4.2% in section 5.
+	CommFraction float64
+	// TotalFlops sums flops over ranks.
+	TotalFlops int64
+	// SustainedFlops is TotalFlops / WallTime in flop/s.
+	SustainedFlops float64
+}
+
+// Aggregate builds a report from per-rank profilers.
+func Aggregate(profs []*Profiler) Report {
+	r := Report{Ranks: len(profs), PhaseTotals: map[string]time.Duration{}}
+	for _, p := range profs {
+		if p.total > r.WallTime {
+			r.WallTime = p.total
+		}
+		r.TotalTime += p.total
+		for ph := Phase(0); ph < numPhases; ph++ {
+			r.PhaseTotals[ph.String()] += p.phases[ph]
+		}
+		r.TotalFlops += p.flops
+	}
+	for _, d := range r.PhaseTotals {
+		r.BusyTime += d
+	}
+	if r.BusyTime > 0 {
+		r.CommFraction = float64(r.PhaseTotals[PhaseComm.String()]) / float64(r.BusyTime)
+	}
+	if r.WallTime > 0 {
+		r.SustainedFlops = float64(r.TotalFlops) / r.WallTime.Seconds()
+	}
+	return r
+}
+
+// String formats the report like an IPM summary block.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# perf summary: %d ranks\n", r.Ranks)
+	fmt.Fprintf(&b, "#   wallclock  : %v\n", r.WallTime)
+	fmt.Fprintf(&b, "#   total time : %v (all ranks)\n", r.TotalTime)
+	names := make([]string, 0, len(r.PhaseTotals))
+	for n := range r.PhaseTotals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "#   %-12s %v\n", n, r.PhaseTotals[n])
+	}
+	fmt.Fprintf(&b, "#   comm frac  : %.2f%%\n", 100*r.CommFraction)
+	fmt.Fprintf(&b, "#   flops      : %d (%.3f Gflop/s sustained)\n",
+		r.TotalFlops, r.SustainedFlops/1e9)
+	return b.String()
+}
+
+// Collector gathers per-rank profilers safely from rank goroutines.
+type Collector struct {
+	mu    sync.Mutex
+	profs map[int]*Profiler
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{profs: map[int]*Profiler{}} }
+
+// Put stores a rank's profiler.
+func (c *Collector) Put(p *Profiler) {
+	c.mu.Lock()
+	c.profs[p.Rank] = p
+	c.mu.Unlock()
+}
+
+// Report aggregates everything collected.
+func (c *Collector) Report() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	list := make([]*Profiler, 0, len(c.profs))
+	for _, p := range c.profs {
+		list = append(list, p)
+	}
+	return Aggregate(list)
+}
+
+// FlopCounts provides the analytic per-element flop model used for
+// PSiNS-style counting: the kernels are fixed sequences of arithmetic,
+// so operation counts per element per time step are compile-time
+// constants.
+type FlopCounts struct {
+	SolidElement int64 // per solid element per step
+	FluidElement int64 // per fluid element per step
+	PointUpdate  int64 // per grid point per step (Newmark update)
+}
+
+// DefaultFlopCounts returns the operation counts for the NGLL=5 kernels.
+func DefaultFlopCounts() FlopCounts {
+	const ngll3 = 125
+	return FlopCounts{
+		// 9 derivative applies + 9 transpose applies, 10 flops per
+		// point each, plus ~90 pointwise flops for strain/stress and
+		// weight application.
+		SolidElement: int64(ngll3 * (9*10 + 9*10 + 90)),
+		// 3 + 3 applies plus ~30 pointwise flops.
+		FluidElement: int64(ngll3 * (3*10 + 3*10 + 30)),
+		PointUpdate:  9,
+	}
+}

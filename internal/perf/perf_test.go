@@ -1,0 +1,135 @@
+package perf
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProfilerPhases(t *testing.T) {
+	p := NewProfiler(3)
+	p.Start()
+	p.Time(PhaseForceSolid, func() { time.Sleep(2 * time.Millisecond) })
+	p.Time(PhaseComm, func() { time.Sleep(1 * time.Millisecond) })
+	p.Add(PhaseUpdate, 5*time.Millisecond)
+	p.AddFlops(1000)
+	p.Stop()
+	if p.Rank != 3 {
+		t.Error("rank lost")
+	}
+	if p.PhaseTime(PhaseForceSolid) < 2*time.Millisecond {
+		t.Error("force phase undercounted")
+	}
+	if p.PhaseTime(PhaseUpdate) != 5*time.Millisecond {
+		t.Error("Add not accounted")
+	}
+	if p.Flops() != 1000 {
+		t.Error("flops lost")
+	}
+	if p.Total() < 3*time.Millisecond {
+		t.Errorf("total %v too small", p.Total())
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	mk := func(rank int, wall time.Duration, comm time.Duration, flops int64) *Profiler {
+		p := NewProfiler(rank)
+		p.total = wall
+		p.phases[PhaseComm] = comm
+		p.phases[PhaseForceSolid] = wall - comm
+		p.flops = flops
+		return p
+	}
+	r := Aggregate([]*Profiler{
+		mk(0, 100*time.Millisecond, 5*time.Millisecond, 1e6),
+		mk(1, 120*time.Millisecond, 3*time.Millisecond, 2e6),
+	})
+	if r.Ranks != 2 {
+		t.Error("rank count")
+	}
+	if r.WallTime != 120*time.Millisecond {
+		t.Errorf("wall %v", r.WallTime)
+	}
+	if r.TotalTime != 220*time.Millisecond {
+		t.Errorf("total %v", r.TotalTime)
+	}
+	wantFrac := float64(8*time.Millisecond) / float64(220*time.Millisecond)
+	if d := r.CommFraction - wantFrac; d > 1e-12 || d < -1e-12 {
+		t.Errorf("comm fraction %v want %v", r.CommFraction, wantFrac)
+	}
+	if r.TotalFlops != 3e6 {
+		t.Errorf("flops %v", r.TotalFlops)
+	}
+	wantSustained := 3e6 / 0.12
+	if rel := (r.SustainedFlops - wantSustained) / wantSustained; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("sustained %v want %v", r.SustainedFlops, wantSustained)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	p := NewProfiler(0)
+	p.Start()
+	p.AddFlops(12345)
+	p.Stop()
+	s := Aggregate([]*Profiler{p}).String()
+	for _, want := range []string{"1 ranks", "comm frac", "12345"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			p := NewProfiler(rank)
+			p.Start()
+			p.AddFlops(int64(rank))
+			p.Stop()
+			c.Put(p)
+		}(r)
+	}
+	wg.Wait()
+	rep := c.Report()
+	if rep.Ranks != 16 {
+		t.Errorf("%d ranks collected", rep.Ranks)
+	}
+	if rep.TotalFlops != 120 {
+		t.Errorf("flops %d want 120", rep.TotalFlops)
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	names := map[Phase]string{
+		PhaseForceSolid: "force_solid",
+		PhaseForceFluid: "force_fluid",
+		PhaseComm:       "mpi",
+		PhaseUpdate:     "update",
+		PhaseOther:      "other",
+	}
+	for ph, want := range names {
+		if ph.String() != want {
+			t.Errorf("phase %d: %q want %q", int(ph), ph.String(), want)
+		}
+	}
+	if Phase(99).String() == "" {
+		t.Error("unknown phase should format")
+	}
+}
+
+func TestDefaultFlopCounts(t *testing.T) {
+	fc := DefaultFlopCounts()
+	if fc.SolidElement <= 0 || fc.FluidElement <= 0 || fc.PointUpdate <= 0 {
+		t.Error("non-positive flop counts")
+	}
+	// Fluid work is roughly a third of solid work (1 field vs 3).
+	ratio := float64(fc.SolidElement) / float64(fc.FluidElement)
+	if ratio < 2 || ratio > 4 {
+		t.Errorf("solid/fluid flop ratio %v implausible", ratio)
+	}
+}

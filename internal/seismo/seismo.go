@@ -1,0 +1,370 @@
+// Package seismo provides the seismogram post-processing a user of the
+// solver needs to compare synthetics: tapering, band-pass filtering,
+// resampling, cross-correlation time shifts, and ASCII I/O compatible
+// with core.WriteSeismograms. The paper's validation workflow —
+// comparing synthetic seismograms between runs and against reference
+// solutions ("two sets of synthetic seismograms that are
+// indistinguishable when plotted superimposed", §4.2) — is quantified
+// with these tools.
+package seismo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Trace is a single-component, uniformly sampled time series.
+type Trace struct {
+	Name string
+	Dt   float64 // sampling interval in seconds
+	Data []float64
+}
+
+// Clone returns a deep copy.
+func (t *Trace) Clone() *Trace {
+	return &Trace{Name: t.Name, Dt: t.Dt, Data: append([]float64(nil), t.Data...)}
+}
+
+// Duration returns the time span of the trace.
+func (t *Trace) Duration() float64 { return float64(len(t.Data)) * t.Dt }
+
+// PeakAmplitude returns max |x|.
+func (t *Trace) PeakAmplitude() float64 {
+	p := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > p {
+			p = a
+		}
+	}
+	return p
+}
+
+// RMS returns the root-mean-square amplitude.
+func (t *Trace) RMS() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(t.Data)))
+}
+
+// Detrend removes the best-fit line in place.
+func (t *Trace) Detrend() {
+	n := float64(len(t.Data))
+	if n < 2 {
+		return
+	}
+	// Least squares for y = a + b*i.
+	var sx, sy, sxx, sxy float64
+	for i, v := range t.Data {
+		x := float64(i)
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	for i := range t.Data {
+		t.Data[i] -= a + b*float64(i)
+	}
+}
+
+// Taper applies a cosine (Tukey) taper over the given fraction of each
+// end (0 < frac <= 0.5) in place.
+func (t *Trace) Taper(frac float64) {
+	if frac <= 0 {
+		return
+	}
+	if frac > 0.5 {
+		frac = 0.5
+	}
+	n := len(t.Data)
+	w := int(frac * float64(n))
+	for i := 0; i < w; i++ {
+		f := 0.5 * (1 - math.Cos(math.Pi*float64(i)/float64(w)))
+		t.Data[i] *= f
+		t.Data[n-1-i] *= f
+	}
+}
+
+// Integrate converts e.g. velocity to displacement with the trapezoid
+// rule, in place.
+func (t *Trace) Integrate() {
+	acc := 0.0
+	prev := 0.0
+	for i, v := range t.Data {
+		if i > 0 {
+			acc += 0.5 * (prev + v) * t.Dt
+		}
+		prev = v
+		t.Data[i] = acc
+	}
+}
+
+// Differentiate converts e.g. displacement to velocity (central
+// differences, one-sided at the ends), in place.
+func (t *Trace) Differentiate() {
+	n := len(t.Data)
+	if n < 2 {
+		return
+	}
+	out := make([]float64, n)
+	out[0] = (t.Data[1] - t.Data[0]) / t.Dt
+	out[n-1] = (t.Data[n-1] - t.Data[n-2]) / t.Dt
+	for i := 1; i < n-1; i++ {
+		out[i] = (t.Data[i+1] - t.Data[i-1]) / (2 * t.Dt)
+	}
+	t.Data = out
+}
+
+// biquad is one second-order IIR section.
+type biquad struct{ b0, b1, b2, a1, a2 float64 }
+
+func (q biquad) apply(x []float64) {
+	var w1, w2 float64
+	for i, v := range x {
+		w := v - q.a1*w1 - q.a2*w2
+		x[i] = q.b0*w + q.b1*w1 + q.b2*w2
+		w2, w1 = w1, w
+	}
+}
+
+// lowpassBiquad returns a 2nd-order Butterworth low-pass section
+// (bilinear transform).
+func lowpassBiquad(fc, dt float64) biquad {
+	k := math.Tan(math.Pi * fc * dt)
+	norm := 1 / (1 + math.Sqrt2*k + k*k)
+	return biquad{
+		b0: k * k * norm,
+		b1: 2 * k * k * norm,
+		b2: k * k * norm,
+		a1: 2 * (k*k - 1) * norm,
+		a2: (1 - math.Sqrt2*k + k*k) * norm,
+	}
+}
+
+// highpassBiquad returns a 2nd-order Butterworth high-pass section.
+func highpassBiquad(fc, dt float64) biquad {
+	k := math.Tan(math.Pi * fc * dt)
+	norm := 1 / (1 + math.Sqrt2*k + k*k)
+	return biquad{
+		b0: norm,
+		b1: -2 * norm,
+		b2: norm,
+		a1: 2 * (k*k - 1) * norm,
+		a2: (1 - math.Sqrt2*k + k*k) * norm,
+	}
+}
+
+// Lowpass applies a 2nd-order Butterworth low-pass at fc Hz in place.
+func (t *Trace) Lowpass(fc float64) error {
+	if err := t.checkFreq(fc); err != nil {
+		return err
+	}
+	lowpassBiquad(fc, t.Dt).apply(t.Data)
+	return nil
+}
+
+// Highpass applies a 2nd-order Butterworth high-pass at fc Hz in place.
+func (t *Trace) Highpass(fc float64) error {
+	if err := t.checkFreq(fc); err != nil {
+		return err
+	}
+	highpassBiquad(fc, t.Dt).apply(t.Data)
+	return nil
+}
+
+// Bandpass applies high-pass at f1 then low-pass at f2 (f1 < f2).
+func (t *Trace) Bandpass(f1, f2 float64) error {
+	if f1 >= f2 {
+		return fmt.Errorf("seismo: band [%g, %g] inverted", f1, f2)
+	}
+	if err := t.Highpass(f1); err != nil {
+		return err
+	}
+	return t.Lowpass(f2)
+}
+
+func (t *Trace) checkFreq(fc float64) error {
+	nyquist := 0.5 / t.Dt
+	if fc <= 0 || fc >= nyquist {
+		return fmt.Errorf("seismo: corner %g Hz outside (0, %g)", fc, nyquist)
+	}
+	return nil
+}
+
+// Resample returns a new trace sampled at newDt by linear interpolation.
+func (t *Trace) Resample(newDt float64) (*Trace, error) {
+	if newDt <= 0 {
+		return nil, fmt.Errorf("seismo: bad sampling interval %g", newDt)
+	}
+	dur := t.Duration()
+	n := int(dur / newDt)
+	out := &Trace{Name: t.Name, Dt: newDt, Data: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := float64(i) * newDt / t.Dt
+		j := int(x)
+		if j >= len(t.Data)-1 {
+			out.Data[i] = t.Data[len(t.Data)-1]
+			continue
+		}
+		f := x - float64(j)
+		out.Data[i] = t.Data[j]*(1-f) + t.Data[j+1]*f
+	}
+	return out, nil
+}
+
+// CrossCorrelate returns the lag (in seconds, b relative to a) that
+// maximizes the normalized cross-correlation, and the correlation value
+// at that lag. maxLag bounds the search window in seconds.
+func CrossCorrelate(a, b *Trace, maxLag float64) (lag float64, corr float64, err error) {
+	if a.Dt != b.Dt {
+		return 0, 0, fmt.Errorf("seismo: sampling intervals differ (%g vs %g)", a.Dt, b.Dt)
+	}
+	maxShift := int(maxLag / a.Dt)
+	if maxShift < 0 {
+		maxShift = 0
+	}
+	bestLag, bestC := 0, math.Inf(-1)
+	na, nb := len(a.Data), len(b.Data)
+	for shift := -maxShift; shift <= maxShift; shift++ {
+		var sab, saa, sbb float64
+		for i := 0; i < na; i++ {
+			j := i + shift
+			if j < 0 || j >= nb {
+				continue
+			}
+			sab += a.Data[i] * b.Data[j]
+			saa += a.Data[i] * a.Data[i]
+			sbb += b.Data[j] * b.Data[j]
+		}
+		if saa == 0 || sbb == 0 {
+			continue
+		}
+		c := sab / math.Sqrt(saa*sbb)
+		if c > bestC {
+			bestC, bestLag = c, shift
+		}
+	}
+	if math.IsInf(bestC, -1) {
+		return 0, 0, fmt.Errorf("seismo: empty overlap")
+	}
+	// Positive lag means b is delayed relative to a (its energy sits at
+	// later sample indices, so the best alignment shift is positive).
+	return float64(bestLag) * a.Dt, bestC, nil
+}
+
+// MisfitL2 returns the normalized L2 misfit ||a-b|| / ||a|| over the
+// common length — the quantitative version of "indistinguishable when
+// plotted superimposed".
+func MisfitL2(a, b *Trace) (float64, error) {
+	if a.Dt != b.Dt {
+		return 0, fmt.Errorf("seismo: sampling intervals differ")
+	}
+	n := len(a.Data)
+	if len(b.Data) < n {
+		n = len(b.Data)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("seismo: empty traces")
+	}
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := a.Data[i] - b.Data[i]
+		num += d * d
+		den += a.Data[i] * a.Data[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return math.Sqrt(num / den), nil
+}
+
+// ThreeComponent bundles the X/Y/Z traces of one station.
+type ThreeComponent struct {
+	Name    string
+	X, Y, Z *Trace
+}
+
+// ReadSEM reads a .sem ASCII file (time, x, y, z per line) as written by
+// core.WriteSeismograms.
+func ReadSEM(path string) (*ThreeComponent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(strings.TrimSuffix(path, ".sem"), "/")
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	tc := &ThreeComponent{
+		Name: name,
+		X:    &Trace{Name: name + ".X"},
+		Y:    &Trace{Name: name + ".Y"},
+		Z:    &Trace{Name: name + ".Z"},
+	}
+	var t0, t1 float64
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("seismo: %s line %d: %d fields, want 4", path, line+1, len(fields))
+		}
+		vals := make([]float64, 4)
+		for i, s := range fields {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seismo: %s line %d: %w", path, line+1, err)
+			}
+			vals[i] = v
+		}
+		switch line {
+		case 0:
+			t0 = vals[0]
+		case 1:
+			t1 = vals[0]
+		}
+		tc.X.Data = append(tc.X.Data, vals[1])
+		tc.Y.Data = append(tc.Y.Data, vals[2])
+		tc.Z.Data = append(tc.Z.Data, vals[3])
+		line++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if line >= 2 {
+		dt := t1 - t0
+		tc.X.Dt, tc.Y.Dt, tc.Z.Dt = dt, dt, dt
+	}
+	return tc, nil
+}
+
+// WriteSEM writes the three components in the .sem ASCII format.
+func WriteSEM(w io.Writer, tc *ThreeComponent) error {
+	n := len(tc.X.Data)
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(w, "%12.4f %14.6e %14.6e %14.6e\n",
+			float64(i+1)*tc.X.Dt, tc.X.Data[i], tc.Y.Data[i], tc.Z.Data[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

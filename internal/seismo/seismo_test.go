@@ -1,0 +1,291 @@
+package seismo
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// sine returns a trace containing sin(2 pi f t), n samples at dt.
+func sine(f, dt float64, n int) *Trace {
+	t := &Trace{Name: "sine", Dt: dt, Data: make([]float64, n)}
+	for i := range t.Data {
+		t.Data[i] = math.Sin(2 * math.Pi * f * float64(i) * dt)
+	}
+	return t
+}
+
+func TestPeakAndRMS(t *testing.T) {
+	tr := &Trace{Dt: 1, Data: []float64{3, -4, 0}}
+	if tr.PeakAmplitude() != 4 {
+		t.Errorf("peak %v", tr.PeakAmplitude())
+	}
+	want := math.Sqrt(25.0 / 3.0)
+	if math.Abs(tr.RMS()-want) > 1e-12 {
+		t.Errorf("rms %v want %v", tr.RMS(), want)
+	}
+	if (&Trace{}).RMS() != 0 {
+		t.Error("empty rms")
+	}
+}
+
+func TestDetrendRemovesLine(t *testing.T) {
+	tr := &Trace{Dt: 0.1, Data: make([]float64, 100)}
+	for i := range tr.Data {
+		tr.Data[i] = 3 + 0.25*float64(i)
+	}
+	tr.Detrend()
+	for i, v := range tr.Data {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("residual %g at %d", v, i)
+		}
+	}
+}
+
+func TestTaperEndsGoToZero(t *testing.T) {
+	tr := &Trace{Dt: 1, Data: make([]float64, 100)}
+	for i := range tr.Data {
+		tr.Data[i] = 1
+	}
+	tr.Taper(0.1)
+	if tr.Data[0] != 0 || tr.Data[99] != 0 {
+		t.Error("ends not tapered to zero")
+	}
+	if tr.Data[50] != 1 {
+		t.Error("middle modified")
+	}
+	// Monotone ramp on the taper.
+	for i := 1; i < 10; i++ {
+		if tr.Data[i] < tr.Data[i-1] {
+			t.Fatal("taper not monotone")
+		}
+	}
+}
+
+// Integrating then differentiating a smooth signal returns it.
+func TestIntegrateDifferentiateRoundTrip(t *testing.T) {
+	tr := sine(0.5, 0.01, 400)
+	orig := tr.Clone()
+	tr.Integrate()
+	tr.Differentiate()
+	// Skip the ends (one-sided stencils).
+	for i := 5; i < len(tr.Data)-5; i++ {
+		if math.Abs(tr.Data[i]-orig.Data[i]) > 5e-3 {
+			t.Fatalf("round trip error %g at %d", tr.Data[i]-orig.Data[i], i)
+		}
+	}
+}
+
+// A low-pass filter must pass a low-frequency sine nearly unchanged and
+// crush a high-frequency one.
+func TestLowpassSelectivity(t *testing.T) {
+	low := sine(0.1, 0.01, 2000)
+	high := sine(20, 0.01, 2000)
+	if err := low.Lowpass(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := high.Lowpass(1.0); err != nil {
+		t.Fatal(err)
+	}
+	// Compare RMS over the second half (after transients).
+	half := func(tr *Trace) *Trace {
+		return &Trace{Dt: tr.Dt, Data: tr.Data[len(tr.Data)/2:]}
+	}
+	if r := half(low).RMS(); r < 0.6 {
+		t.Errorf("passband attenuated to RMS %v", r)
+	}
+	if r := half(high).RMS(); r > 0.02 {
+		t.Errorf("stopband leaked RMS %v", r)
+	}
+}
+
+func TestHighpassSelectivity(t *testing.T) {
+	low := sine(0.05, 0.01, 4000)
+	high := sine(10, 0.01, 4000)
+	if err := low.Highpass(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := high.Highpass(1.0); err != nil {
+		t.Fatal(err)
+	}
+	half := func(tr *Trace) *Trace {
+		return &Trace{Dt: tr.Dt, Data: tr.Data[len(tr.Data)/2:]}
+	}
+	if r := half(high).RMS(); r < 0.6 {
+		t.Errorf("passband attenuated to RMS %v", r)
+	}
+	if r := half(low).RMS(); r > 0.02 {
+		t.Errorf("stopband leaked RMS %v", r)
+	}
+}
+
+func TestBandpassValidation(t *testing.T) {
+	tr := sine(1, 0.01, 100)
+	if err := tr.Bandpass(2, 1); err == nil {
+		t.Error("inverted band accepted")
+	}
+	if err := tr.Lowpass(100); err == nil {
+		t.Error("corner above Nyquist accepted")
+	}
+	if err := tr.Highpass(-1); err == nil {
+		t.Error("negative corner accepted")
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := sine(0.5, 0.01, 1000)
+	down, err := tr.Resample(0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(down.Duration()-tr.Duration()) > 0.1 {
+		t.Errorf("duration changed: %v vs %v", down.Duration(), tr.Duration())
+	}
+	// Values still on the sine to linear-interp accuracy.
+	for i := 10; i < len(down.Data)-10; i++ {
+		want := math.Sin(2 * math.Pi * 0.5 * float64(i) * down.Dt)
+		if math.Abs(down.Data[i]-want) > 5e-3 {
+			t.Fatalf("resampled value off at %d: %v vs %v", i, down.Data[i], want)
+		}
+	}
+	if _, err := tr.Resample(0); err == nil {
+		t.Error("zero dt accepted")
+	}
+}
+
+// Cross-correlation must recover a known time shift.
+func TestCrossCorrelateRecoversShift(t *testing.T) {
+	const dt = 0.01
+	mk := func(t0 float64) *Trace {
+		tr := &Trace{Dt: dt, Data: make([]float64, 1000)}
+		for i := range tr.Data {
+			x := (float64(i)*dt - t0) / 0.2
+			tr.Data[i] = math.Exp(-x * x)
+		}
+		return tr
+	}
+	a := mk(3.0)
+	b := mk(3.75) // b delayed by 0.75 s
+	lag, corr, err := CrossCorrelate(a, b, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lag-0.75) > dt {
+		t.Errorf("lag %v want 0.75", lag)
+	}
+	if corr < 0.999 {
+		t.Errorf("correlation %v", corr)
+	}
+}
+
+// Property: the autocorrelation peak is at zero lag with value 1.
+func TestAutocorrelationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		freq := 0.1 + float64(seed%20)/10
+		a := sine(freq, 0.01, 500)
+		a.Taper(0.2)
+		lag, corr, err := CrossCorrelate(a, a, 0.5)
+		return err == nil && lag == 0 && math.Abs(corr-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMisfitL2(t *testing.T) {
+	a := sine(1, 0.01, 500)
+	if m, err := MisfitL2(a, a.Clone()); err != nil || m != 0 {
+		t.Errorf("self misfit %v err %v", m, err)
+	}
+	b := a.Clone()
+	for i := range b.Data {
+		b.Data[i] *= 1.1
+	}
+	m, err := MisfitL2(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-0.1) > 1e-9 {
+		t.Errorf("10%% amplitude misfit measured as %v", m)
+	}
+}
+
+func TestSEMRoundTrip(t *testing.T) {
+	tc := &ThreeComponent{
+		Name: "TEST",
+		X:    sine(0.3, 0.05, 200),
+		Y:    sine(0.4, 0.05, 200),
+		Z:    sine(0.5, 0.05, 200),
+	}
+	var buf bytes.Buffer
+	if err := WriteSEM(&buf, tc); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "TEST.sem")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSEM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "TEST" {
+		t.Errorf("name %q", got.Name)
+	}
+	if math.Abs(got.X.Dt-0.05) > 1e-9 {
+		t.Errorf("dt %v", got.X.Dt)
+	}
+	if len(got.X.Data) != 200 {
+		t.Fatalf("%d samples", len(got.X.Data))
+	}
+	// ASCII has 6 significant digits.
+	for i := range got.X.Data {
+		if math.Abs(got.X.Data[i]-tc.X.Data[i]) > 1e-6 {
+			t.Fatalf("X sample %d: %v vs %v", i, got.X.Data[i], tc.X.Data[i])
+		}
+	}
+}
+
+func TestReadSEMErrors(t *testing.T) {
+	if _, err := ReadSEM(filepath.Join(t.TempDir(), "missing.sem")); err == nil {
+		t.Error("missing file read")
+	}
+	path := filepath.Join(t.TempDir(), "bad.sem")
+	os.WriteFile(path, []byte("1.0 2.0\n"), 0o644)
+	if _, err := ReadSEM(path); err == nil {
+		t.Error("malformed line accepted")
+	}
+	path2 := filepath.Join(t.TempDir(), "nan.sem")
+	os.WriteFile(path2, []byte("1.0 x 2.0 3.0\n"), 0o644)
+	if _, err := ReadSEM(path2); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+}
+
+func BenchmarkBandpass(b *testing.B) {
+	tr := sine(0.5, 0.01, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := tr.Clone()
+		if err := cp.Bandpass(0.1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossCorrelate(b *testing.B) {
+	a := sine(0.5, 0.01, 2000)
+	c := sine(0.5, 0.01, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := CrossCorrelate(a, c, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

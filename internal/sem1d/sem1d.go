@@ -1,0 +1,237 @@
+// Package sem1d is a self-contained one-dimensional spectral-element
+// solver for the elastic wave equation rho u_tt = (mu u_x)_x on a rod
+// with free (Neumann) ends. It exists as a validation substrate: the
+// exact d'Alembert solution is known, so the GLL quadrature, Lagrange
+// derivative matrices and explicit Newmark scheme shared with the 3D
+// solver can be verified against analytic wave propagation to high
+// accuracy.
+package sem1d
+
+import (
+	"fmt"
+	"math"
+
+	"specglobe/internal/gll"
+)
+
+// Config describes the rod and its discretization.
+type Config struct {
+	// L is the rod length in meters.
+	L float64
+	// NElem is the number of spectral elements.
+	NElem int
+	// Rho and Mu are the density and shear modulus (wave speed
+	// c = sqrt(Mu/Rho)).
+	Rho, Mu float64
+}
+
+// Solver is the 1D spectral-element solver state.
+type Solver struct {
+	cfg   Config
+	basis *gll.Basis
+	// x holds the global GLL point positions (NElem*Degree + 1 points).
+	x []float64
+	// ibool maps (elem, local point) to the global point.
+	ibool [][]int
+	// mass is the assembled diagonal mass matrix.
+	mass []float64
+	// fields
+	u, v, a []float64
+	t       float64
+	dt      float64
+}
+
+// New builds the solver. The time step defaults to 0.5 of the CFL limit
+// and can be overridden with SetDt.
+func New(cfg Config) (*Solver, error) {
+	if cfg.L <= 0 || cfg.NElem < 1 {
+		return nil, fmt.Errorf("sem1d: bad geometry L=%g NElem=%d", cfg.L, cfg.NElem)
+	}
+	if cfg.Rho <= 0 || cfg.Mu <= 0 {
+		return nil, fmt.Errorf("sem1d: material must be positive")
+	}
+	b := gll.New(gll.Degree)
+	s := &Solver{cfg: cfg, basis: b}
+	h := cfg.L / float64(cfg.NElem)
+	nGlob := cfg.NElem*gll.Degree + 1
+	s.x = make([]float64, nGlob)
+	s.ibool = make([][]int, cfg.NElem)
+	for e := 0; e < cfg.NElem; e++ {
+		s.ibool[e] = make([]int, gll.NGLL)
+		x0 := float64(e) * h
+		for i := 0; i < gll.NGLL; i++ {
+			g := e*gll.Degree + i
+			s.ibool[e][i] = g
+			s.x[g] = x0 + (b.Points[i]+1)/2*h
+		}
+	}
+	// Assemble the diagonal mass matrix: sum of rho * w_i * h/2.
+	s.mass = make([]float64, nGlob)
+	for e := 0; e < cfg.NElem; e++ {
+		for i := 0; i < gll.NGLL; i++ {
+			s.mass[s.ibool[e][i]] += cfg.Rho * b.Weights[i] * h / 2
+		}
+	}
+	s.u = make([]float64, nGlob)
+	s.v = make([]float64, nGlob)
+	s.a = make([]float64, nGlob)
+	s.dt = 0.5 * s.StableDt()
+	return s, nil
+}
+
+// WaveSpeed returns c = sqrt(mu/rho).
+func (s *Solver) WaveSpeed() float64 { return math.Sqrt(s.cfg.Mu / s.cfg.Rho) }
+
+// StableDt returns the CFL limit dx_min / c.
+func (s *Solver) StableDt() float64 {
+	dxMin := math.Inf(1)
+	for g := 1; g < len(s.x); g++ {
+		if d := s.x[g] - s.x[g-1]; d > 0 && d < dxMin {
+			dxMin = d
+		}
+	}
+	return dxMin / s.WaveSpeed()
+}
+
+// SetDt overrides the time step.
+func (s *Solver) SetDt(dt float64) { s.dt = dt }
+
+// Dt returns the current time step.
+func (s *Solver) Dt() float64 { return s.dt }
+
+// Time returns the current simulation time.
+func (s *Solver) Time() float64 { return s.t }
+
+// Points returns the global GLL point positions.
+func (s *Solver) Points() []float64 { return s.x }
+
+// Displacement returns the current displacement field (aliased; callers
+// copy if they mutate).
+func (s *Solver) Displacement() []float64 { return s.u }
+
+// SetInitialCondition sets u(x, 0) = f(x) and v(x, 0) = g(x); either
+// function may be nil for zero.
+func (s *Solver) SetInitialCondition(f, g func(x float64) float64) {
+	for i, xi := range s.x {
+		if f != nil {
+			s.u[i] = f(xi)
+		}
+		if g != nil {
+			s.v[i] = g(xi)
+		}
+	}
+	s.computeAcceleration()
+}
+
+// computeAcceleration evaluates a = -M^-1 K u with the free-surface
+// (natural) boundary conditions.
+func (s *Solver) computeAcceleration() {
+	for i := range s.a {
+		s.a[i] = 0
+	}
+	h := s.cfg.L / float64(s.cfg.NElem)
+	twoOverH := 2 / h
+	b := s.basis
+	var du [gll.NGLL]float64
+	for e := 0; e < s.cfg.NElem; e++ {
+		ib := s.ibool[e]
+		// Strain u' at each quadrature point.
+		for q := 0; q < gll.NGLL; q++ {
+			d := 0.0
+			for j := 0; j < gll.NGLL; j++ {
+				d += b.HPrime[q][j] * s.u[ib[j]]
+			}
+			du[q] = d * twoOverH
+		}
+		// F_i = - sum_q w_q mu u'(q) l'_i(q), with l'_i(q) in physical
+		// coordinates = HPrime[q][i]*2/h and dx = h/2 dxi.
+		for i := 0; i < gll.NGLL; i++ {
+			f := 0.0
+			for q := 0; q < gll.NGLL; q++ {
+				f += b.Weights[q] * s.cfg.Mu * du[q] * b.HPrime[q][i]
+			}
+			s.a[ib[i]] -= f
+		}
+	}
+	for i := range s.a {
+		s.a[i] /= s.mass[i]
+	}
+}
+
+// Step advances one explicit Newmark step (the same scheme as the 3D
+// solver).
+func (s *Solver) Step() {
+	dt := s.dt
+	half := dt / 2
+	for i := range s.u {
+		s.u[i] += dt*s.v[i] + dt*dt/2*s.a[i]
+		s.v[i] += half * s.a[i]
+	}
+	s.computeAcceleration()
+	for i := range s.v {
+		s.v[i] += half * s.a[i]
+	}
+	s.t += dt
+}
+
+// Run advances until time T (inclusive of the last partial step).
+func (s *Solver) Run(T float64) {
+	for s.t+s.dt <= T {
+		s.Step()
+	}
+	if rem := T - s.t; rem > 1e-15 {
+		old := s.dt
+		s.dt = rem
+		s.Step()
+		s.dt = old
+	}
+}
+
+// Energy returns the kinetic and potential (strain) energy.
+func (s *Solver) Energy() (kinetic, potential float64) {
+	for i, vi := range s.v {
+		kinetic += 0.5 * s.mass[i] * vi * vi
+	}
+	h := s.cfg.L / float64(s.cfg.NElem)
+	twoOverH := 2 / h
+	b := s.basis
+	for e := 0; e < s.cfg.NElem; e++ {
+		ib := s.ibool[e]
+		for q := 0; q < gll.NGLL; q++ {
+			d := 0.0
+			for j := 0; j < gll.NGLL; j++ {
+				d += b.HPrime[q][j] * s.u[ib[j]]
+			}
+			d *= twoOverH
+			potential += 0.5 * b.Weights[q] * s.cfg.Mu * d * d * h / 2
+		}
+	}
+	return kinetic, potential
+}
+
+// DalembertFree returns the exact solution u(x, t) for initial
+// displacement f, zero initial velocity, and free (Neumann) ends on
+// [0, L]: the average of left- and right-going copies of f with
+// even (mirror) reflections at both ends.
+func DalembertFree(f func(float64) float64, L, c, x, t float64) float64 {
+	reflectEven := func(y float64) float64 {
+		// Fold y into [0, L] with even symmetry (period 2L).
+		y = math.Mod(y, 2*L)
+		if y < 0 {
+			y += 2 * L
+		}
+		if y > L {
+			y = 2*L - y
+		}
+		return y
+	}
+	return 0.5 * (f(reflectEven(x-c*t)) + f(reflectEven(x+c*t)))
+}
+
+// GaussianPulse returns a Gaussian bump centered at x0 with width w.
+func GaussianPulse(x0, w float64) func(float64) float64 {
+	return func(x float64) float64 {
+		d := (x - x0) / w
+		return math.Exp(-d * d)
+	}
+}

@@ -1,0 +1,202 @@
+package sem1d
+
+import (
+	"math"
+	"testing"
+)
+
+func maxErr(s *Solver, exact func(x float64) float64) float64 {
+	worst := 0.0
+	for i, xi := range s.Points() {
+		if e := math.Abs(s.Displacement()[i] - exact(xi)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{L: 0, NElem: 10, Rho: 1, Mu: 1}); err == nil {
+		t.Error("L=0 accepted")
+	}
+	if _, err := New(Config{L: 1, NElem: 0, Rho: 1, Mu: 1}); err == nil {
+		t.Error("NElem=0 accepted")
+	}
+	if _, err := New(Config{L: 1, NElem: 1, Rho: -1, Mu: 1}); err == nil {
+		t.Error("negative rho accepted")
+	}
+}
+
+func TestPointLayout(t *testing.T) {
+	s, err := New(Config{L: 10, NElem: 5, Rho: 1, Mu: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := s.Points()
+	if len(x) != 5*4+1 {
+		t.Fatalf("%d points", len(x))
+	}
+	if x[0] != 0 || math.Abs(x[len(x)-1]-10) > 1e-12 {
+		t.Errorf("endpoints %v %v", x[0], x[len(x)-1])
+	}
+	for i := 1; i < len(x); i++ {
+		if x[i] <= x[i-1] {
+			t.Fatal("points not ascending")
+		}
+	}
+}
+
+// The discrete solution must match d'Alembert before any reflection.
+func TestDalembertPropagation(t *testing.T) {
+	const (
+		L   = 100.0
+		rho = 2500.0
+		mu  = 1e10
+	)
+	s, err := New(Config{L: L, NElem: 200, Rho: rho, Mu: mu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.WaveSpeed()
+	pulse := GaussianPulse(L/2, 3)
+	s.SetInitialCondition(pulse, nil)
+	T := 15 / c // pulse travels 15 m in each direction; no reflections yet
+	s.Run(T)
+	exact := func(x float64) float64 { return DalembertFree(pulse, L, c, x, s.Time()) }
+	if e := maxErr(s, exact); e > 2e-4 {
+		t.Errorf("max error %.3g vs d'Alembert (amplitude 1)", e)
+	}
+}
+
+// After reflecting off a free end the pulse keeps its sign and shape.
+func TestFreeEndReflection(t *testing.T) {
+	const L = 100.0
+	s, err := New(Config{L: L, NElem: 200, Rho: 1000, Mu: 9e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.WaveSpeed()
+	pulse := GaussianPulse(L-15, 3)
+	s.SetInitialCondition(pulse, nil)
+	// Right-going half reflects off x=L and returns: at t = 30/c the
+	// reflected pulse is back at x = L-15 with positive sign.
+	s.Run(30 / c)
+	exact := func(x float64) float64 { return DalembertFree(pulse, L, c, x, s.Time()) }
+	if e := maxErr(s, exact); e > 5e-4 {
+		t.Errorf("max error %.3g after free-end reflection", e)
+	}
+	// Amplitude near the original center should be ~0.5 and positive.
+	for i, x := range s.Points() {
+		if math.Abs(x-(L-15)) < 0.3 {
+			if u := s.Displacement()[i]; u < 0.3 {
+				t.Errorf("reflected pulse at x=%.1f has amplitude %.3f, want ~0.5 positive", x, u)
+			}
+		}
+	}
+}
+
+// Convergence: halving the element size (which also halves dt) must cut
+// the combined space-time error at least quadratically — the spatial
+// error of the degree-4 elements is far below the second-order time
+// error at these resolutions, so the observed rate is the Newmark rate.
+func TestConvergence(t *testing.T) {
+	const L = 100.0
+	run := func(nelem int) float64 {
+		s, err := New(Config{L: L, NElem: nelem, Rho: 1000, Mu: 9e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := s.WaveSpeed()
+		pulse := GaussianPulse(L/2, 5)
+		s.SetInitialCondition(pulse, nil)
+		// Fixed small dt for both so the comparison isolates the
+		// spatial discretization.
+		s.SetDt(0.25 * s.StableDt())
+		s.Run(10 / c)
+		exact := func(x float64) float64 { return DalembertFree(pulse, L, c, x, s.Time()) }
+		return maxErr(s, exact)
+	}
+	e50 := run(50)
+	e100 := run(100)
+	if e100 > e50/3 {
+		t.Errorf("not converging at second order: e(50)=%.3g e(100)=%.3g", e50, e100)
+	}
+	// And the absolute error must be tiny for a well-resolved pulse.
+	if e50 > 1e-3 {
+		t.Errorf("error %.3g too large for a resolved pulse", e50)
+	}
+}
+
+// Energy is conserved by the explicit Newmark scheme to high accuracy.
+func TestEnergyConservation1D(t *testing.T) {
+	s, err := New(Config{L: 100, NElem: 100, Rho: 1000, Mu: 9e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInitialCondition(GaussianPulse(50, 4), nil)
+	k0, p0 := s.Energy()
+	e0 := k0 + p0
+	if e0 <= 0 {
+		t.Fatal("no initial energy")
+	}
+	for i := 0; i < 2000; i++ {
+		s.Step()
+	}
+	k1, p1 := s.Energy()
+	if drift := math.Abs(k1+p1-e0) / e0; drift > 1e-3 {
+		t.Errorf("energy drift %.3g over 2000 steps", drift)
+	}
+	// Energy equipartitions while the pulse propagates: both parts
+	// nonzero.
+	if k1 <= 0 || p1 <= 0 {
+		t.Error("energy not split between kinetic and potential")
+	}
+}
+
+// A uniform displacement is a zero-energy rigid motion: no forces.
+func TestRigidMotionIsForceFree(t *testing.T) {
+	s, err := New(Config{L: 10, NElem: 20, Rho: 1, Mu: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInitialCondition(func(float64) float64 { return 3.25 }, nil)
+	for i := 0; i < 100; i++ {
+		s.Step()
+	}
+	for i, u := range s.Displacement() {
+		if math.Abs(u-3.25) > 1e-10 {
+			t.Fatalf("rigid motion distorted at %d: %v", i, u)
+		}
+	}
+}
+
+// The exact reference solution must itself satisfy the symmetries we
+// rely on (even reflection, periodicity 2L).
+func TestDalembertReferenceProperties(t *testing.T) {
+	f := GaussianPulse(30, 2)
+	const L, c = 100.0, 3000.0
+	for _, x := range []float64{0, 10, 50, 99} {
+		// t=0 returns the initial condition.
+		if math.Abs(DalembertFree(f, L, c, x, 0)-f(x)) > 1e-12 {
+			t.Errorf("t=0 mismatch at x=%v", x)
+		}
+		// Period 2L/c in time.
+		u1 := DalembertFree(f, L, c, x, 0.123)
+		u2 := DalembertFree(f, L, c, x, 0.123+2*L/c)
+		if math.Abs(u1-u2) > 1e-9 {
+			t.Errorf("not periodic at x=%v: %v vs %v", x, u1, u2)
+		}
+	}
+}
+
+func BenchmarkStep1D(b *testing.B) {
+	s, err := New(Config{L: 100, NElem: 200, Rho: 1000, Mu: 9e9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetInitialCondition(GaussianPulse(50, 3), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,83 @@
+package solver
+
+import (
+	"specglobe/internal/mesh"
+	"specglobe/internal/simd"
+)
+
+// The fluid outer core uses the scalar potential formulation of
+// Komatitsch & Tromp (2002): displacement u = (1/rho) grad(chi) and
+// pressure p = -chi_ddot, governed by the weak form of
+//
+//	(1/kappa) chi_ddot = div( (1/rho) grad(chi) )
+//
+// with the boundary term at the CMB/ICB supplying the normal component
+// of the *solid displacement* — the displacement-based non-iterative
+// coupling of Chaljub & Valette (2004) adopted in the paper.
+
+// computeFluidForces accumulates -K chi (the discrete weighted Laplacian
+// with 1/rho coefficient) into chiDdot. This is the second of the two
+// dominant routines of section 4.3: same cutplane structure, one scalar
+// field instead of three components.
+func (rs *rankState) computeFluidForces() {
+	fl := rs.fluid
+	if fl == nil {
+		return
+	}
+	reg := fl.reg
+	k := rs.kern
+
+	var chi [simd.PadLen]float32
+	var t1, t2, t3 [simd.PadLen]float32
+	var s1, s2, s3 [simd.PadLen]float32
+
+	for e := 0; e < reg.NSpec; e++ {
+		base := e * mesh.NGLL3
+		ib := reg.Ibool[base : base+mesh.NGLL3]
+		for p, g := range ib {
+			chi[p] = fl.chi[g]
+		}
+		k.grad(chi[:], t1[:], t2[:], t3[:])
+		for p := 0; p < mesh.NGLL3; p++ {
+			ip := base + p
+			xix, xiy, xiz := reg.Xix[ip], reg.Xiy[ip], reg.Xiz[ip]
+			etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
+			gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
+
+			gx := xix*t1[p] + etx*t2[p] + gmx*t3[p]
+			gy := xiy*t1[p] + ety*t2[p] + gmy*t3[p]
+			gz := xiz*t1[p] + etz*t2[p] + gmz*t3[p]
+
+			fac := reg.Jac[ip] / reg.Rho[ip]
+			s1[p] = fac * (gx*xix + gy*xiy + gz*xiz)
+			s2[p] = fac * (gx*etx + gy*ety + gz*etz)
+			s3[p] = fac * (gx*gmx + gy*gmy + gz*gmz)
+		}
+		k.gradT1(s1[:], t1[:])
+		k.gradT2(s2[:], t2[:])
+		k.gradT3(s3[:], t3[:])
+		for p, g := range ib {
+			fl.chiDdot[g] -= k.fac1[p]*t1[p] + k.fac2[p]*t2[p] + k.fac3[p]*t3[p]
+		}
+	}
+	rs.prof.AddFlops(rs.fc.FluidElement * int64(reg.NSpec))
+}
+
+// addSolidDisplacementToFluid applies the fluid-side coupling term:
+// chiDdot accumulates + Weight * (u_solid . n_f) at the boundary points,
+// using the freshly predicted solid displacement.
+func (rs *rankState) addSolidDisplacementToFluid(faces []mesh.CoupleFace) {
+	fl := rs.fluid
+	if fl == nil {
+		return
+	}
+	for fi := range faces {
+		cf := &faces[fi]
+		f := rs.solid[cf.SolidKind]
+		for q := 0; q < mesh.NGLL2; q++ {
+			sp := cf.SolidPt[q]
+			un := f.dx[sp]*cf.Nx[q] + f.dy[sp]*cf.Ny[q] + f.dz[sp]*cf.Nz[q]
+			fl.chiDdot[cf.FluidPt[q]] += cf.Weight[q] * un
+		}
+	}
+}

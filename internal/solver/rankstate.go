@@ -1,0 +1,392 @@
+package solver
+
+import (
+	"math"
+
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/mesh"
+	"specglobe/internal/mpi"
+	"specglobe/internal/perf"
+)
+
+// solidField is the dynamic state of one solid region on one rank.
+type solidField struct {
+	reg        *mesh.Region
+	dx, dy, dz []float32 // displacement
+	vx, vy, vz []float32 // velocity
+	ax, ay, az []float32 // acceleration
+	massInv    []float32 // assembled inverse mass
+	att        *attState // nil when attenuation is off
+	// gravity tables per global point (nil when gravity is off)
+	gOverR, dgdr        []float32
+	rhatX, rhatY, rhatZ []float32
+}
+
+// fluidField is the dynamic state of the outer core on one rank.
+type fluidField struct {
+	reg                  *mesh.Region
+	chi, chiDot, chiDdot []float32
+	massInv              []float32
+}
+
+// attState holds the standard-linear-solid memory variables of a solid
+// region: R[mech][comp] is a per-element-point array; comp indexes the
+// 6 deviatoric strain components (xx, yy, zz, xy, xz, yz).
+type attState struct {
+	nsls  int
+	alpha [][]float32 // [mech][elem]
+	beta  [][]float32 // [mech][elem] (includes 1/Qmu)
+	muFac []float32   // per element unrelaxed modulus factor
+	r     [][6][]float32
+}
+
+// sourceLocal is a source with its precomputed nodal force array.
+type sourceLocal struct {
+	src *Source
+	// arr[p][c]: force at element point p, component c, per unit STF.
+	arr [mesh.NGLL3][3]float32
+}
+
+// recvLocal is a receiver resolved to recording weights.
+type recvLocal struct {
+	rcv  *Receiver
+	kind earthmodel.Region
+	elem int
+	w    [mesh.NGLL3]float64 // interpolation weights (one-hot if nearest)
+	out  *Seismogram
+}
+
+// rankState is all per-rank solver state.
+type rankState struct {
+	rank  int
+	comm  *mpi.Comm
+	local *mesh.Local
+	plan  *mesh.HaloPlan
+	opts  *Options
+	dt    float64
+	prof  *perf.Profiler
+	kern  *kernels
+	fc    perf.FlopCounts
+
+	solid [3]*solidField // indexed by region kind; nil for the fluid slot
+	fluid *fluidField    // nil if the mesh has no outer core
+
+	sources []sourceLocal
+	recvs   []recvLocal
+	seismos []*Seismogram
+
+	// ocean load factors, parallel to local.Surface.Pts (computed after
+	// mass assembly)
+	oceanFactor []float32
+
+	seq int // halo-exchange sequence number for unique tags
+}
+
+func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
+	fit *earthmodel.SLSFit, grav *earthmodel.GravityProfile) *rankState {
+
+	rank := c.Rank()
+	rs := &rankState{
+		rank:  rank,
+		comm:  c,
+		local: sim.Locals[rank],
+		plan:  sim.Plans[rank],
+		opts:  opts,
+		dt:    dt,
+		prof:  perf.NewProfiler(rank),
+		kern:  newKernels(opts.Kernel),
+		fc:    perf.DefaultFlopCounts(),
+	}
+
+	for kind := 0; kind < 3; kind++ {
+		reg := rs.local.Regions[kind]
+		if reg == nil || reg.NSpec == 0 {
+			continue
+		}
+		if reg.IsFluid() {
+			rs.fluid = &fluidField{
+				reg:     reg,
+				chi:     make([]float32, reg.NGlob),
+				chiDot:  make([]float32, reg.NGlob),
+				chiDdot: make([]float32, reg.NGlob),
+			}
+			continue
+		}
+		f := &solidField{
+			reg: reg,
+			dx:  make([]float32, reg.NGlob), dy: make([]float32, reg.NGlob), dz: make([]float32, reg.NGlob),
+			vx: make([]float32, reg.NGlob), vy: make([]float32, reg.NGlob), vz: make([]float32, reg.NGlob),
+			ax: make([]float32, reg.NGlob), ay: make([]float32, reg.NGlob), az: make([]float32, reg.NGlob),
+		}
+		if opts.Attenuation && fit != nil {
+			f.att = newAttState(reg, fit, dt)
+		}
+		if opts.Gravity && grav != nil {
+			f.gOverR = make([]float32, reg.NGlob)
+			f.dgdr = make([]float32, reg.NGlob)
+			f.rhatX = make([]float32, reg.NGlob)
+			f.rhatY = make([]float32, reg.NGlob)
+			f.rhatZ = make([]float32, reg.NGlob)
+			const h = 100.0 // meters, for dg/dr
+			for i, p := range reg.Pts {
+				r := math.Sqrt(p[0]*p[0] + p[1]*p[1] + p[2]*p[2])
+				if r < 1 {
+					continue // center: g = 0, direction undefined
+				}
+				g := grav.At(r)
+				f.gOverR[i] = float32(g / r)
+				f.dgdr[i] = float32((grav.At(r+h) - grav.At(r-h)) / (2 * h))
+				f.rhatX[i] = float32(p[0] / r)
+				f.rhatY[i] = float32(p[1] / r)
+				f.rhatZ[i] = float32(p[2] / r)
+			}
+		}
+		rs.solid[kind] = f
+	}
+
+	for i := range sim.Sources {
+		src := &sim.Sources[i]
+		if src.Rank != rank {
+			continue
+		}
+		rs.sources = append(rs.sources, rs.prepareSource(src))
+	}
+	for i := range sim.Receivers {
+		rcv := &sim.Receivers[i]
+		if rcv.Rank != rank {
+			continue
+		}
+		rl := rs.prepareReceiver(rcv, opts, dt)
+		rs.recvs = append(rs.recvs, rl)
+		rs.seismos = append(rs.seismos, rl.out)
+	}
+	return rs
+}
+
+// newAttState builds memory-variable storage and per-element update
+// coefficients for a solid region.
+func newAttState(reg *mesh.Region, fit *earthmodel.SLSFit, dt float64) *attState {
+	a := &attState{nsls: fit.NSLS}
+	a.alpha = make([][]float32, fit.NSLS)
+	a.beta = make([][]float32, fit.NSLS)
+	a.r = make([][6][]float32, fit.NSLS)
+	for k := 0; k < fit.NSLS; k++ {
+		a.alpha[k] = make([]float32, reg.NSpec)
+		a.beta[k] = make([]float32, reg.NSpec)
+		for c := 0; c < 6; c++ {
+			a.r[k][c] = make([]float32, reg.NSpec*mesh.NGLL3)
+		}
+	}
+	a.muFac = make([]float32, reg.NSpec)
+	for e := 0; e < reg.NSpec; e++ {
+		q := float64(reg.Qmu[e])
+		if q <= 0 {
+			q = math.Inf(1)
+		}
+		alpha, beta := fit.MechanismCoefficients(q, dt)
+		for k := 0; k < fit.NSLS; k++ {
+			a.alpha[k][e] = float32(alpha[k])
+			a.beta[k][e] = float32(beta[k])
+		}
+		a.muFac[e] = float32(fit.UnrelaxedFactor(q))
+	}
+	return a
+}
+
+// assembleMass performs the one-time cross-rank assembly of the diagonal
+// mass matrices and derives inverse masses and ocean load factors.
+func (rs *rankState) assembleMass() {
+	for kind := 0; kind < 3; kind++ {
+		reg := rs.local.Regions[kind]
+		if reg == nil || reg.NSpec == 0 {
+			rs.nextTag() // keep tag sequence aligned across ranks
+			continue
+		}
+		m := append([]float32(nil), reg.Mass...)
+		rs.assembleScalar(kind, m)
+		inv := make([]float32, len(m))
+		for i, v := range m {
+			inv[i] = 1 / v
+		}
+		if reg.IsFluid() {
+			rs.fluid.massInv = inv
+		} else {
+			rs.solid[kind].massInv = inv
+		}
+		if kind == int(earthmodel.RegionCrustMantle) && rs.opts.OceanLoad {
+			sl := &rs.local.Surface
+			if sl.WaterDepth > 0 {
+				rs.oceanFactor = make([]float32, len(sl.Pts))
+				for i, pt := range sl.Pts {
+					mw := float32(sl.WaterRho*sl.WaterDepth) * sl.AreaW[i]
+					rs.oceanFactor[i] = m[pt] / (m[pt] + mw)
+				}
+			}
+		}
+	}
+}
+
+// nextTag returns a unique message tag for the next halo exchange. All
+// ranks execute the same sequence of exchanges per step, so sequence
+// numbers agree across the world.
+func (rs *rankState) nextTag() int {
+	rs.seq++
+	return rs.seq
+}
+
+// assembleScalar sums the shared-point contributions of a per-point
+// scalar array across ranks (in place).
+func (rs *rankState) assembleScalar(kind int, vals []float32) {
+	// Consume a tag unconditionally so sequence numbers stay aligned
+	// across ranks even when this rank has no edges for the region.
+	tag := rs.nextTag()
+	edges := rs.plan.Edges[kind]
+	if len(edges) == 0 {
+		return
+	}
+	// Send own contributions first (copied before any adds).
+	bufs := make([][]float32, len(edges))
+	for i, e := range edges {
+		buf := make([]float32, len(e.Idx))
+		for j, idx := range e.Idx {
+			buf[j] = vals[idx]
+		}
+		bufs[i] = buf
+		rs.comm.Isend(e.Peer, tag, buf)
+	}
+	for _, e := range edges {
+		got := rs.comm.Recv(e.Peer, tag)
+		for j, idx := range e.Idx {
+			vals[idx] += got[j]
+		}
+	}
+}
+
+// assembleVector is assembleScalar for three-component fields packed as
+// [x..., y..., z...] per edge.
+func (rs *rankState) assembleVector(kind int, x, y, z []float32) {
+	tag := rs.nextTag()
+	edges := rs.plan.Edges[kind]
+	if len(edges) == 0 {
+		return
+	}
+	for _, e := range edges {
+		n := len(e.Idx)
+		buf := make([]float32, 3*n)
+		for j, idx := range e.Idx {
+			buf[j] = x[idx]
+			buf[n+j] = y[idx]
+			buf[2*n+j] = z[idx]
+		}
+		rs.comm.Isend(e.Peer, tag, buf)
+	}
+	for _, e := range edges {
+		got := rs.comm.Recv(e.Peer, tag)
+		n := len(e.Idx)
+		for j, idx := range e.Idx {
+			x[idx] += got[j]
+			y[idx] += got[n+j]
+			z[idx] += got[2*n+j]
+		}
+	}
+}
+
+// assembleSolidCombined exchanges crust/mantle and inner-core boundary
+// accelerations in a single message per neighbor (the 33% message-count
+// reduction of the paper). Peers of either region receive one combined
+// buffer.
+func (rs *rankState) assembleSolidCombined() {
+	cm := rs.solid[earthmodel.RegionCrustMantle]
+	ic := rs.solid[earthmodel.RegionInnerCore]
+	cmEdges := rs.plan.Edges[earthmodel.RegionCrustMantle]
+	icEdges := rs.plan.Edges[earthmodel.RegionInnerCore]
+	peers := map[int][2]*mesh.HaloEdge{}
+	for i := range cmEdges {
+		pe := peers[cmEdges[i].Peer]
+		pe[0] = &cmEdges[i]
+		peers[cmEdges[i].Peer] = pe
+	}
+	for i := range icEdges {
+		pe := peers[icEdges[i].Peer]
+		pe[1] = &icEdges[i]
+		peers[icEdges[i].Peer] = pe
+	}
+	tag := rs.nextTag()
+	if len(peers) == 0 {
+		return
+	}
+	// Deterministic peer order.
+	order := make([]int, 0, len(peers))
+	for p := range peers {
+		order = append(order, p)
+	}
+	sortInts(order)
+	pack := func(f *solidField, e *mesh.HaloEdge, buf []float32) []float32 {
+		if e == nil {
+			return buf
+		}
+		n := len(e.Idx)
+		base := len(buf)
+		buf = append(buf, make([]float32, 3*n)...)
+		for j, idx := range e.Idx {
+			buf[base+j] = f.ax[idx]
+			buf[base+n+j] = f.ay[idx]
+			buf[base+2*n+j] = f.az[idx]
+		}
+		return buf
+	}
+	for _, p := range order {
+		pe := peers[p]
+		var buf []float32
+		buf = pack(cm, pe[0], buf)
+		buf = pack(ic, pe[1], buf)
+		rs.comm.Isend(p, tag, buf)
+	}
+	unpack := func(f *solidField, e *mesh.HaloEdge, got []float32, off int) int {
+		if e == nil {
+			return off
+		}
+		n := len(e.Idx)
+		for j, idx := range e.Idx {
+			f.ax[idx] += got[off+j]
+			f.ay[idx] += got[off+n+j]
+			f.az[idx] += got[off+2*n+j]
+		}
+		return off + 3*n
+	}
+	for _, p := range order {
+		pe := peers[p]
+		got := rs.comm.Recv(p, tag)
+		off := unpack(cm, pe[0], got, 0)
+		unpack(ic, pe[1], got, off)
+	}
+}
+
+// maxDisplacement returns the largest absolute displacement component
+// on this rank (NaN poisons the maximum, which the stability check
+// relies on).
+func (rs *rankState) maxDisplacement() float64 {
+	m := 0.0
+	for _, f := range rs.solid {
+		if f == nil {
+			continue
+		}
+		for i := range f.dx {
+			for _, v := range [3]float32{f.dx[i], f.dy[i], f.dz[i]} {
+				a := math.Abs(float64(v))
+				if a > m || math.IsNaN(a) {
+					m = a
+				}
+			}
+		}
+	}
+	return m
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package solver
+
+import (
+	"specglobe/internal/mesh"
+	"specglobe/internal/simd"
+)
+
+// computeSolidForces accumulates the internal elastic forces -K u of one
+// solid region into the acceleration arrays. This is one of the two
+// computational routines the paper identifies as consuming >70% of the
+// runtime: per element, small 5x5 matrix products along the cutplanes of
+// the 125-point block (section 4.3), followed by pointwise stress
+// evaluation and the weighted-transpose accumulation.
+//
+// With attenuation enabled, the deviatoric stress is corrected by the
+// standard-linear-solid memory variables, which are then advanced one
+// step with their exponential recursion.
+func (rs *rankState) computeSolidForces(f *solidField) {
+	reg := f.reg
+	k := rs.kern
+
+	// Element scratch blocks (padded to 128 floats as in section 4.3).
+	var ux, uy, uz [simd.PadLen]float32
+	var t1x, t2x, t3x [simd.PadLen]float32
+	var t1y, t2y, t3y [simd.PadLen]float32
+	var t1z, t2z, t3z [simd.PadLen]float32
+	var s1x, s2x, s3x [simd.PadLen]float32
+	var s1y, s2y, s3y [simd.PadLen]float32
+	var s1z, s2z, s3z [simd.PadLen]float32
+
+	for e := 0; e < reg.NSpec; e++ {
+		base := e * mesh.NGLL3
+		ib := reg.Ibool[base : base+mesh.NGLL3]
+
+		// Gather element displacement.
+		for p, g := range ib {
+			ux[p] = f.dx[g]
+			uy[p] = f.dy[g]
+			uz[p] = f.dz[g]
+		}
+
+		// Reference-space gradients of each displacement component.
+		k.grad(ux[:], t1x[:], t2x[:], t3x[:])
+		k.grad(uy[:], t1y[:], t2y[:], t3y[:])
+		k.grad(uz[:], t1z[:], t2z[:], t3z[:])
+
+		var att *attState
+		var muFac float32 = 1
+		if f.att != nil {
+			att = f.att
+			muFac = att.muFac[e]
+		}
+
+		// Pointwise: physical gradients, strain, stress, and the
+		// Jacobian-weighted flux blocks for the transpose stage.
+		for p := 0; p < mesh.NGLL3; p++ {
+			ip := base + p
+			xix, xiy, xiz := reg.Xix[ip], reg.Xiy[ip], reg.Xiz[ip]
+			etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
+			gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
+
+			duxdx := xix*t1x[p] + etx*t2x[p] + gmx*t3x[p]
+			duxdy := xiy*t1x[p] + ety*t2x[p] + gmy*t3x[p]
+			duxdz := xiz*t1x[p] + etz*t2x[p] + gmz*t3x[p]
+			duydx := xix*t1y[p] + etx*t2y[p] + gmx*t3y[p]
+			duydy := xiy*t1y[p] + ety*t2y[p] + gmy*t3y[p]
+			duydz := xiz*t1y[p] + etz*t2y[p] + gmz*t3y[p]
+			duzdx := xix*t1z[p] + etx*t2z[p] + gmx*t3z[p]
+			duzdy := xiy*t1z[p] + ety*t2z[p] + gmy*t3z[p]
+			duzdz := xiz*t1z[p] + etz*t2z[p] + gmz*t3z[p]
+
+			exy := 0.5 * (duxdy + duydx)
+			exz := 0.5 * (duxdz + duzdx)
+			eyz := 0.5 * (duydz + duzdy)
+			tr := duxdx + duydy + duzdz
+
+			mu := reg.Mu[ip] * muFac
+			kap := reg.Kappa[ip]
+			lam := kap - (2.0/3.0)*mu
+
+			sxx := lam*tr + 2*mu*duxdx
+			syy := lam*tr + 2*mu*duydy
+			szz := lam*tr + 2*mu*duzdz
+			sxy := 2 * mu * exy
+			sxz := 2 * mu * exz
+			syz := 2 * mu * eyz
+
+			if att != nil {
+				// Subtract the memory-variable stresses, then advance
+				// the recursions toward the current deviatoric strain.
+				third := tr * (1.0 / 3.0)
+				dxx := duxdx - third
+				dyy := duydy - third
+				dzz := duzdz - third
+				for m := 0; m < att.nsls; m++ {
+					al := att.alpha[m][e]
+					be := att.beta[m][e] * mu
+					r := &att.r[m]
+					sxx -= r[0][ip]
+					syy -= r[1][ip]
+					szz -= r[2][ip]
+					sxy -= r[3][ip]
+					sxz -= r[4][ip]
+					syz -= r[5][ip]
+					r[0][ip] = al*r[0][ip] + be*2*dxx
+					r[1][ip] = al*r[1][ip] + be*2*dyy
+					r[2][ip] = al*r[2][ip] + be*2*dzz
+					r[3][ip] = al*r[3][ip] + be*2*exy
+					r[4][ip] = al*r[4][ip] + be*2*exz
+					r[5][ip] = al*r[5][ip] + be*2*eyz
+				}
+			}
+
+			jac := reg.Jac[ip]
+			s1x[p] = jac * (sxx*xix + sxy*xiy + sxz*xiz)
+			s1y[p] = jac * (sxy*xix + syy*xiy + syz*xiz)
+			s1z[p] = jac * (sxz*xix + syz*xiy + szz*xiz)
+			s2x[p] = jac * (sxx*etx + sxy*ety + sxz*etz)
+			s2y[p] = jac * (sxy*etx + syy*ety + syz*etz)
+			s2z[p] = jac * (sxz*etx + syz*ety + szz*etz)
+			s3x[p] = jac * (sxx*gmx + sxy*gmy + sxz*gmz)
+			s3y[p] = jac * (sxy*gmx + syy*gmy + syz*gmz)
+			s3z[p] = jac * (sxz*gmx + syz*gmy + szz*gmz)
+		}
+
+		// Weighted-transpose accumulation, reusing the t blocks.
+		k.gradT1(s1x[:], t1x[:])
+		k.gradT2(s2x[:], t2x[:])
+		k.gradT3(s3x[:], t3x[:])
+		k.gradT1(s1y[:], t1y[:])
+		k.gradT2(s2y[:], t2y[:])
+		k.gradT3(s3y[:], t3y[:])
+		k.gradT1(s1z[:], t1z[:])
+		k.gradT2(s2z[:], t2z[:])
+		k.gradT3(s3z[:], t3z[:])
+
+		for p, g := range ib {
+			f.ax[g] -= k.fac1[p]*t1x[p] + k.fac2[p]*t2x[p] + k.fac3[p]*t3x[p]
+			f.ay[g] -= k.fac1[p]*t1y[p] + k.fac2[p]*t2y[p] + k.fac3[p]*t3y[p]
+			f.az[g] -= k.fac1[p]*t1z[p] + k.fac2[p]*t2z[p] + k.fac3[p]*t3z[p]
+		}
+	}
+	flops := rs.fc.SolidElement * int64(reg.NSpec)
+	if f.att != nil {
+		// Memory-variable work: per point, per mechanism, 6 components
+		// of subtract + 2-op recursion update, plus the deviator setup.
+		flops += int64(reg.NSpec) * int64(mesh.NGLL3) * int64(f.att.nsls*6*3+8)
+	}
+	rs.prof.AddFlops(flops)
+}
+
+// addFluidTractionToSolid applies the fluid pressure traction on the
+// solid side of the CMB and ICB: F += (w . n_s) chi_ddot dA with
+// n_s = -n_f, i.e. F -= Weight * n_f * chi_ddot (displacement-based
+// non-iterative coupling: the fluid acceleration potential is final
+// when this runs).
+func (rs *rankState) addFluidTractionToSolid(faces []mesh.CoupleFace) {
+	fl := rs.fluid
+	if fl == nil {
+		return
+	}
+	for fi := range faces {
+		cf := &faces[fi]
+		f := rs.solid[cf.SolidKind]
+		for q := 0; q < mesh.NGLL2; q++ {
+			chidd := fl.chiDdot[cf.FluidPt[q]]
+			w := cf.Weight[q]
+			sp := cf.SolidPt[q]
+			f.ax[sp] -= w * cf.Nx[q] * chidd
+			f.ay[sp] -= w * cf.Ny[q] * chidd
+			f.az[sp] -= w * cf.Nz[q] * chidd
+		}
+	}
+}
+
+// gradT1/2/3 apply the weighted transpose matrix along one direction.
+func (k *kernels) gradT1(u, out []float32) {
+	switch k.variant {
+	case KernelScalar:
+		simd.ApplyD1Scalar(k.hpwT, u, out)
+	case KernelBlas:
+		simd.ApplyDBlas(1, simd.SgemmRef, k.hpwT, u, out, k.scratchIn, k.scratchOut)
+	default:
+		simd.ApplyD1Vec4(k.hpwT, &k.colsT, u, out)
+	}
+}
+
+func (k *kernels) gradT2(u, out []float32) {
+	switch k.variant {
+	case KernelScalar:
+		simd.ApplyD2Scalar(k.hpwT, u, out)
+	case KernelBlas:
+		simd.ApplyDBlas(2, simd.SgemmRef, k.hpwT, u, out, k.scratchIn, k.scratchOut)
+	default:
+		simd.ApplyD2Vec4(k.hpwT, u, out)
+	}
+}
+
+func (k *kernels) gradT3(u, out []float32) {
+	switch k.variant {
+	case KernelScalar:
+		simd.ApplyD3Scalar(k.hpwT, u, out)
+	case KernelBlas:
+		simd.ApplyDBlas(3, simd.SgemmRef, k.hpwT, u, out, k.scratchIn, k.scratchOut)
+	default:
+		simd.ApplyD3Vec4(k.hpwT, u, out)
+	}
+}

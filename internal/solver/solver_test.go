@@ -1,0 +1,734 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"specglobe/internal/boxmesh"
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/meshfem"
+)
+
+// boxMat is a crust-like homogeneous material.
+var boxMat = earthmodel.Material{Rho: 2700, Vp: 8000, Vs: 4500, Qmu: 60, Qkappa: 57823}
+
+// buildBox builds a cubic box mesh: n elements per side, size meters.
+func buildBox(t testing.TB, n, nranks int, size float64) *boxmesh.Box {
+	t.Helper()
+	b, err := boxmesh.Build(boxmesh.Config{
+		Nx: n, Ny: n, Nz: n,
+		Lx: size, Ly: size, Lz: size,
+		NRanks: nranks,
+		Mat:    boxMat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// boxSource places an explosion (isotropic moment tensor) at a position.
+func boxSource(t testing.TB, b *boxmesh.Box, x, y, z, m0, f0 float64) Source {
+	t.Helper()
+	rank, elem, ref, err := b.Locate(x, y, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Source{
+		Rank: rank, Kind: earthmodel.RegionCrustMantle, Elem: elem, Ref: ref,
+		MomentTensor: [3][3]float64{{m0, 0, 0}, {0, m0, 0}, {0, 0, m0}},
+		STF:          RickerSTF(f0, 1.2/f0),
+	}
+}
+
+func boxReceiver(t testing.TB, b *boxmesh.Box, name string, x, y, z float64, nearest bool) Receiver {
+	t.Helper()
+	rank, elem, ref, err := b.Locate(x, y, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Receiver{
+		Name: name, Rank: rank, Kind: earthmodel.RegionCrustMantle,
+		Elem: elem, Ref: ref, NearestPoint: nearest,
+	}
+}
+
+func checkFinite(t *testing.T, sg *Seismogram) {
+	t.Helper()
+	for i := range sg.X {
+		for _, v := range []float32{sg.X[i], sg.Y[i], sg.Z[i]} {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("seismogram %s: non-finite sample at %d", sg.Name, i)
+			}
+		}
+	}
+}
+
+func maxAbs(s []float32) float64 {
+	m := 0.0
+	for _, v := range s {
+		if a := math.Abs(float64(v)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func TestRunValidation(t *testing.T) {
+	b := buildBox(t, 2, 1, 10e3)
+	if _, err := Run(&Simulation{Locals: b.Locals, Plans: b.Plans, Opts: Options{Steps: 0}}); err == nil {
+		t.Error("Steps=0 accepted")
+	}
+	if _, err := Run(&Simulation{Opts: Options{Steps: 1}}); err == nil {
+		t.Error("empty mesh accepted")
+	}
+	sim := &Simulation{Locals: b.Locals, Plans: b.Plans, Opts: Options{Steps: 1},
+		Sources: []Source{{Kind: earthmodel.RegionOuterCore, STF: func(float64) float64 { return 0 }}}}
+	if _, err := Run(sim); err == nil {
+		t.Error("fluid source accepted")
+	}
+	sim = &Simulation{Locals: b.Locals, Plans: b.Plans, Opts: Options{Steps: 1},
+		Sources: []Source{{Kind: earthmodel.RegionCrustMantle}}}
+	if _, err := Run(sim); err == nil {
+		t.Error("source without STF accepted")
+	}
+	sim = &Simulation{Locals: b.Locals, Plans: b.Plans, Opts: Options{Steps: 1},
+		Receivers: []Receiver{{Name: "A"}, {Name: "A"}}}
+	if _, err := Run(sim); err == nil {
+		t.Error("duplicate receiver names accepted")
+	}
+}
+
+// With no source, everything must remain exactly zero.
+func TestNoSourceStaysZero(t *testing.T) {
+	b := buildBox(t, 3, 1, 30e3)
+	res, err := Run(&Simulation{
+		Locals: b.Locals, Plans: b.Plans,
+		Receivers: []Receiver{boxReceiver(t, b, "Z", 15e3, 15e3, 15e3, false)},
+		Opts:      Options{Steps: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := res.Seismograms["Z"]
+	if maxAbs(sg.X) != 0 || maxAbs(sg.Y) != 0 || maxAbs(sg.Z) != 0 {
+		t.Error("fields moved without a source")
+	}
+}
+
+// A vertical point force at the center produces a symmetric response:
+// receivers mirrored in x see identical z motion and opposite x motion.
+func TestPointForceSymmetry(t *testing.T) {
+	const L = 40e3
+	b := buildBox(t, 4, 1, L)
+	rank, elem, ref, err := b.Locate(L/2, L/2, L/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Source{
+		Rank: rank, Kind: earthmodel.RegionCrustMantle, Elem: elem, Ref: ref,
+		Force: [3]float64{0, 0, 1e15},
+		STF:   RickerSTF(0.5, 2.5),
+	}
+	res, err := Run(&Simulation{
+		Locals: b.Locals, Plans: b.Plans,
+		Sources: []Source{src},
+		Receivers: []Receiver{
+			boxReceiver(t, b, "E", L/2+10e3, L/2, L/2, false),
+			boxReceiver(t, b, "W", L/2-10e3, L/2, L/2, false),
+		},
+		Opts: Options{Steps: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, w := res.Seismograms["E"], res.Seismograms["W"]
+	checkFinite(t, e)
+	checkFinite(t, w)
+	if maxAbs(e.Z) == 0 {
+		t.Fatal("no signal recorded")
+	}
+	scale := maxAbs(e.Z)
+	for i := range e.Z {
+		if math.Abs(float64(e.Z[i]-w.Z[i])) > 1e-4*scale {
+			t.Fatalf("z-components differ at %d: %g vs %g", i, e.Z[i], w.Z[i])
+		}
+		if math.Abs(float64(e.X[i]+w.X[i])) > 1e-4*scale {
+			t.Fatalf("x-components not antisymmetric at %d: %g vs %g", i, e.X[i], w.X[i])
+		}
+	}
+}
+
+// The P-wave from an explosion must arrive at the predicted travel time
+// distance / vp. This validates the wave speed of the discrete operator.
+func TestPWaveArrivalTime(t *testing.T) {
+	const L = 80e3
+	b := buildBox(t, 8, 1, L)
+	// f0 = 0.4 Hz: P wavelength vp/f0 = 20 km, twice the 10 km element
+	// size, i.e. ~10 GLL points per wavelength — comfortably resolved.
+	const f0 = 0.4
+	src := boxSource(t, b, L/2, L/2, L/2, 1e18, f0)
+	const dist = 25e3
+	res, err := Run(&Simulation{
+		Locals:    b.Locals,
+		Plans:     b.Plans,
+		Sources:   []Source{src},
+		Receivers: []Receiver{boxReceiver(t, b, "R", L/2+dist, L/2, L/2, false)},
+		Opts:      Options{Steps: 110},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := res.Seismograms["R"]
+	checkFinite(t, sg)
+	peak := maxAbs(sg.X)
+	if peak == 0 {
+		t.Fatal("no arrival")
+	}
+	// The Ricker peak radiated at t0 travels at vp: the radial
+	// component peaks at t0 + dist/vp.
+	tPeak, vmax := -1.0, 0.0
+	for i, v := range sg.X {
+		if a := math.Abs(float64(v)); a > vmax {
+			vmax = a
+			tPeak = float64(i+1) * sg.Dt
+		}
+	}
+	want := 1.2/f0 + dist/boxMat.Vp
+	if relErr := math.Abs(tPeak-want) / want; relErr > 0.08 {
+		t.Errorf("P peak at %.3f s, want ~%.3f s (rel err %.3f)", tPeak, want, relErr)
+	}
+}
+
+// After the source stops radiating, total energy in the closed box
+// (free-surface boundaries reflect everything) must stay constant.
+func TestEnergyConservation(t *testing.T) {
+	const L = 40e3
+	b := buildBox(t, 4, 1, L)
+	src := boxSource(t, b, L/2, L/2, L/2, 1e17, 1.0)
+	res, err := Run(&Simulation{
+		Locals: b.Locals, Plans: b.Plans,
+		Sources: []Source{src},
+		Opts:    Options{Steps: 300, EnergyEvery: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Energy) < 10 {
+		t.Fatalf("only %d energy samples", len(res.Energy))
+	}
+	// Source (Ricker at f0=1, t0=1.2) is done by ~3 s. Compare total
+	// energy between the first post-source sample and the last.
+	var post []float64
+	for _, e := range res.Energy {
+		tSec := float64(e.Step) * res.Dt
+		if tSec > 3.5 {
+			post = append(post, e.Kinetic+e.Potential)
+		}
+	}
+	if len(post) < 3 {
+		t.Fatalf("not enough post-source samples (dt=%g)", res.Dt)
+	}
+	first, last := post[0], post[len(post)-1]
+	if first <= 0 {
+		t.Fatal("no energy injected")
+	}
+	if drift := math.Abs(last-first) / first; drift > 0.03 {
+		t.Errorf("energy drift %.4f over run (first %g, last %g)", drift, first, last)
+	}
+}
+
+// With attenuation on, energy must decay relative to the elastic run and
+// the amplitude must drop.
+func TestAttenuationDissipates(t *testing.T) {
+	const L = 40e3
+	run := func(att bool) float64 {
+		b := buildBox(t, 4, 1, L)
+		src := boxSource(t, b, L/2, L/2, L/2, 1e17, 1.0)
+		res, err := Run(&Simulation{
+			Locals: b.Locals, Plans: b.Plans,
+			Sources: []Source{src},
+			Opts: Options{
+				Steps: 300, EnergyEvery: 50, Attenuation: att,
+				AttenuationBand: [2]float64{0.1, 2.0},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := res.Energy[len(res.Energy)-1]
+		return e.Kinetic + e.Potential
+	}
+	elastic := run(false)
+	anelastic := run(true)
+	if anelastic >= elastic {
+		t.Errorf("attenuation did not dissipate: %g >= %g", anelastic, elastic)
+	}
+	// Qmu=60 over several seconds should dissipate a visible fraction
+	// but not all of the energy.
+	if anelastic < 0.05*elastic {
+		t.Errorf("attenuation too strong: %g vs %g", anelastic, elastic)
+	}
+}
+
+// Different rank counts must produce the same physics; only float32
+// summation order differs, so seismograms agree to roundoff ("the result
+// is almost invariant by permutation down to the last digits", 4.2).
+func TestParallelInvariance(t *testing.T) {
+	const L = 40e3
+	run := func(nranks int) *Seismogram {
+		b := buildBox(t, 4, nranks, L)
+		src := boxSource(t, b, L/2+1e3, L/2, L/2, 1e17, 1.0)
+		res, err := Run(&Simulation{
+			Locals: b.Locals, Plans: b.Plans,
+			Sources:   []Source{src},
+			Receivers: []Receiver{boxReceiver(t, b, "R", L/2+12e3, L/2+3e3, L/2, false)},
+			Opts:      Options{Steps: 120, Dt: 0.02},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seismograms["R"]
+	}
+	a := run(1)
+	c := run(4)
+	scale := maxAbs(a.X) + maxAbs(a.Y) + maxAbs(a.Z)
+	if scale == 0 {
+		t.Fatal("no signal")
+	}
+	for i := range a.X {
+		dx := math.Abs(float64(a.X[i] - c.X[i]))
+		dy := math.Abs(float64(a.Y[i] - c.Y[i]))
+		dz := math.Abs(float64(a.Z[i] - c.Z[i]))
+		if dx+dy+dz > 1e-4*scale {
+			t.Fatalf("rank-count dependence at sample %d: diff %g (scale %g)", i, dx+dy+dz, scale)
+		}
+	}
+}
+
+// All kernel variants must produce the same seismograms to float32
+// roundoff.
+func TestKernelVariantsAgree(t *testing.T) {
+	const L = 40e3
+	run := func(kv Kernel) *Seismogram {
+		b := buildBox(t, 4, 1, L)
+		src := boxSource(t, b, L/2, L/2, L/2, 1e17, 1.0)
+		res, err := Run(&Simulation{
+			Locals: b.Locals, Plans: b.Plans,
+			Sources:   []Source{src},
+			Receivers: []Receiver{boxReceiver(t, b, "R", L/2+10e3, L/2, L/2, false)},
+			Opts:      Options{Steps: 100, Dt: 0.02, Kernel: kv},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seismograms["R"]
+	}
+	ref := run(KernelVec4)
+	scale := maxAbs(ref.X)
+	for _, kv := range []Kernel{KernelScalar, KernelBlas} {
+		got := run(kv)
+		for i := range ref.X {
+			if math.Abs(float64(ref.X[i]-got.X[i])) > 2e-5*scale {
+				t.Fatalf("kernel %d differs at %d: %g vs %g", kv, i, ref.X[i], got.X[i])
+			}
+		}
+	}
+}
+
+// Nearest-point recording (the fast section 4.4 mode) must agree with
+// interpolated recording when the receiver sits exactly on a GLL point,
+// and be close elsewhere.
+func TestNearestVsInterpolated(t *testing.T) {
+	const L = 40e3
+	b := buildBox(t, 4, 1, L)
+	src := boxSource(t, b, L/2, L/2, L/2, 1e17, 1.0)
+	// L/2+10e3 with 10 km elements lands exactly on an element corner.
+	res, err := Run(&Simulation{
+		Locals: b.Locals, Plans: b.Plans,
+		Sources: []Source{src},
+		Receivers: []Receiver{
+			boxReceiver(t, b, "interp", L/2+10e3, L/2, L/2, false),
+			boxReceiver(t, b, "snap", L/2+10e3, L/2, L/2, true),
+		},
+		Opts: Options{Steps: 100, Dt: 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, s := res.Seismograms["interp"], res.Seismograms["snap"]
+	scale := maxAbs(a.X)
+	if scale == 0 {
+		t.Fatal("no signal")
+	}
+	for i := range a.X {
+		if math.Abs(float64(a.X[i]-s.X[i])) > 1e-5*scale {
+			t.Fatalf("on-node snap differs at %d", i)
+		}
+	}
+}
+
+// Rotation must deflect motion: with Coriolis force on (exaggerated
+// rotation rate), the transverse component at a receiver differs from
+// the non-rotating run.
+func TestRotationDeflects(t *testing.T) {
+	const L = 40e3
+	run := func(rotation bool) *Seismogram {
+		b := buildBox(t, 4, 1, L)
+		src := boxSource(t, b, L/2, L/2, L/2, 1e17, 1.0)
+		res, err := Run(&Simulation{
+			Locals: b.Locals, Plans: b.Plans,
+			Sources:   []Source{src},
+			Receivers: []Receiver{boxReceiver(t, b, "R", L/2+10e3, L/2, L/2, false)},
+			Opts: Options{
+				Steps: 100, Dt: 0.02, Rotation: rotation,
+				// Exaggerate so the effect is visible in a short run.
+				RotationRate: 0.05,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seismograms["R"]
+	}
+	base := run(false)
+	rot := run(true)
+	checkFinite(t, rot)
+	var diff float64
+	for i := range base.Y {
+		diff += math.Abs(float64(base.Y[i] - rot.Y[i]))
+	}
+	if diff == 0 {
+		t.Error("rotation had no effect on the transverse component")
+	}
+}
+
+// Globe integration: a moment-tensor source in the mantle of a full
+// Earth-like ball (solid-fluid-solid) must produce finite seismograms
+// and bounded energy (coupling signs stable).
+func TestGlobeEndToEnd(t *testing.T) {
+	model := earthmodel.NewHomogeneous(6371e3, earthmodel.Material{
+		Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+	})
+	model.ICBRadius = 1221.5e3
+	model.CMBRadius = 3480e3
+	g, err := meshfem.Build(meshfem.Config{NexXi: 4, NProcXi: 1, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcLoc, err := g.LocateLatLonDepth(0, 0, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m0 = 1e20
+	src := Source{
+		Rank: srcLoc.Rank, Kind: srcLoc.Kind, Elem: srcLoc.Elem, Ref: srcLoc.Ref,
+		MomentTensor: [3][3]float64{{m0, 0, 0}, {0, m0, 0}, {0, 0, m0}},
+		STF:          GaussianSTF(5, 15),
+	}
+	var recvs []Receiver
+	for _, st := range []struct {
+		name     string
+		lat, lon float64
+	}{{"NEAR", 10, 10}, {"FAR", 0, 120}, {"ANTI", 0, 179}} {
+		loc, err := g.LocateLatLonDepth(st.lat, st.lon, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recvs = append(recvs, Receiver{
+			Name: st.name, Rank: loc.Rank, Kind: loc.Kind, Elem: loc.Elem, Ref: loc.Ref,
+		})
+	}
+	res, err := Run(&Simulation{
+		Locals: g.Locals, Plans: g.Plans, Model: model,
+		Sources: []Source{src}, Receivers: recvs,
+		Opts: Options{Steps: 120, EnergyEvery: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sg := range res.Seismograms {
+		checkFinite(t, sg)
+	}
+	if maxAbs(res.Seismograms["NEAR"].X)+maxAbs(res.Seismograms["NEAR"].Z) == 0 {
+		t.Error("near station recorded nothing")
+	}
+	// The Gaussian source (t0=15 s, half duration 5 s) is finished by
+	// ~30 s. After that, total energy in the closed coupled system must
+	// stay bounded: no sample may exceed twice the first post-source
+	// sample (a coupling sign error grows exponentially instead).
+	var post []float64
+	for _, e := range res.Energy {
+		if e.Kinetic < 0 {
+			t.Error("negative kinetic energy")
+		}
+		if float64(e.Step)*res.Dt > 35 {
+			post = append(post, e.Kinetic+e.Potential)
+		}
+	}
+	if len(post) < 3 {
+		t.Fatalf("not enough post-source energy samples (dt=%g)", res.Dt)
+	}
+	for i, e := range post {
+		if e > 2*post[0] {
+			t.Fatalf("post-source energy grew: sample %d is %g vs %g", i, e, post[0])
+		}
+	}
+	// Comm stats must show real exchanges.
+	if res.MPI.Messages == 0 || res.MPI.BytesSent == 0 {
+		t.Error("no MPI traffic recorded")
+	}
+	if res.Perf.TotalFlops == 0 {
+		t.Error("no flops counted")
+	}
+}
+
+// The combined solid halo exchange (the 33% message-count optimization)
+// must not change the physics and must reduce message count.
+func TestCombinedSolidHalo(t *testing.T) {
+	model := earthmodel.NewHomogeneous(6371e3, earthmodel.Material{
+		Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+	})
+	model.ICBRadius = 1221.5e3
+	model.CMBRadius = 3480e3
+	g, err := meshfem.Build(meshfem.Config{NexXi: 4, NProcXi: 1, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcLoc, err := g.LocateLatLonDepth(0, 0, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rloc, err := g.LocateLatLonDepth(20, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(combined bool) (*Seismogram, int64) {
+		const m0 = 1e20
+		res, err := Run(&Simulation{
+			Locals: g.Locals, Plans: g.Plans, Model: model,
+			Sources: []Source{{
+				Rank: srcLoc.Rank, Kind: srcLoc.Kind, Elem: srcLoc.Elem, Ref: srcLoc.Ref,
+				MomentTensor: [3][3]float64{{m0, 0, 0}, {0, m0, 0}, {0, 0, m0}},
+				STF:          GaussianSTF(25, 60),
+			}},
+			Receivers: []Receiver{{Name: "R", Rank: rloc.Rank, Kind: rloc.Kind, Elem: rloc.Elem, Ref: rloc.Ref}},
+			Opts:      Options{Steps: 30, CombinedSolidHalo: combined},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seismograms["R"], res.MPI.Messages
+	}
+	sep, msgSep := run(false)
+	com, msgCom := run(true)
+	if msgCom >= msgSep {
+		t.Errorf("combined halo did not reduce messages: %d vs %d", msgCom, msgSep)
+	}
+	scale := maxAbs(sep.X) + maxAbs(sep.Y) + maxAbs(sep.Z)
+	for i := range sep.X {
+		d := math.Abs(float64(sep.X[i]-com.X[i])) +
+			math.Abs(float64(sep.Y[i]-com.Y[i])) +
+			math.Abs(float64(sep.Z[i]-com.Z[i]))
+		if scale > 0 && d > 1e-4*scale {
+			t.Fatalf("combined halo changed physics at sample %d", i)
+		}
+	}
+}
+
+func BenchmarkSolidForceKernelVec4(b *testing.B) {
+	benchSolidKernel(b, KernelVec4)
+}
+
+func BenchmarkSolidForceKernelScalar(b *testing.B) {
+	benchSolidKernel(b, KernelScalar)
+}
+
+func BenchmarkSolidForceKernelBlas(b *testing.B) {
+	benchSolidKernel(b, KernelBlas)
+}
+
+func benchSolidKernel(b *testing.B, kv Kernel) {
+	const L = 40e3
+	bx, err := boxmesh.Build(boxmesh.Config{
+		Nx: 6, Ny: 6, Nz: 6, Lx: L, Ly: L, Lz: L, NRanks: 1, Mat: boxMat,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(&Simulation{
+			Locals: bx.Locals, Plans: bx.Plans,
+			Opts: Options{Steps: 3, Dt: 0.01, Kernel: kv},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttenuationOnOff reproduces the paper's section 6 finding:
+// attenuation increases execution time by ~1.8x.
+func BenchmarkAttenuationOff(b *testing.B) { benchAttenuation(b, false) }
+func BenchmarkAttenuationOn(b *testing.B)  { benchAttenuation(b, true) }
+
+func benchAttenuation(b *testing.B, att bool) {
+	const L = 40e3
+	bx, err := boxmesh.Build(boxmesh.Config{
+		Nx: 6, Ny: 6, Nz: 6, Lx: L, Ly: L, Lz: L, NRanks: 1, Mat: boxMat,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(&Simulation{
+			Locals: bx.Locals, Plans: bx.Plans,
+			Opts: Options{Steps: 3, Dt: 0.01, Attenuation: att, AttenuationBand: [2]float64{0.1, 2}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The stability monitor must abort a run whose time step violates the
+// CFL condition instead of marching NaNs to the end.
+func TestStabilityMonitorAborts(t *testing.T) {
+	const L = 40e3
+	b := buildBox(t, 4, 1, L)
+	src := boxSource(t, b, L/2, L/2, L/2, 1e17, 1.0)
+	auto := stableDt(b.Locals, 0.3)
+	_, err := Run(&Simulation{
+		Locals:  b.Locals,
+		Plans:   b.Plans,
+		Sources: []Source{src},
+		Opts: Options{
+			Steps: 400, Dt: 10 * auto, // grossly unstable
+			StabilityCheckEvery: 10,
+		},
+	})
+	if err == nil {
+		t.Fatal("unstable run completed without error")
+	}
+	// A stable run with the monitor on completes normally.
+	if _, err := Run(&Simulation{
+		Locals:  b.Locals,
+		Plans:   b.Plans,
+		Sources: []Source{src},
+		Opts:    Options{Steps: 50, StabilityCheckEvery: 10},
+	}); err != nil {
+		t.Fatalf("stable run aborted: %v", err)
+	}
+}
+
+// Elastodynamic reciprocity: for point forces in a linear elastic
+// medium, the z-displacement at B from a z-force at A equals the
+// z-displacement at A from the same z-force at B. This is a deep
+// correctness property of the discrete operator (symmetry of K and M).
+func TestReciprocity(t *testing.T) {
+	const L = 40e3
+	run := func(srcPos, rcvPos [3]float64) *Seismogram {
+		b := buildBox(t, 4, 1, L)
+		rank, elem, ref, err := b.Locate(srcPos[0], srcPos[1], srcPos[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := Source{
+			Rank: rank, Kind: earthmodel.RegionCrustMantle, Elem: elem, Ref: ref,
+			Force: [3]float64{0, 0, 1e15},
+			STF:   RickerSTF(0.5, 2.5),
+		}
+		res, err := Run(&Simulation{
+			Locals:    b.Locals,
+			Plans:     b.Plans,
+			Sources:   []Source{src},
+			Receivers: []Receiver{boxReceiver(t, b, "R", rcvPos[0], rcvPos[1], rcvPos[2], false)},
+			Opts:      Options{Steps: 150, Dt: 0.02},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seismograms["R"]
+	}
+	// Two interior points, deliberately asymmetric in the box.
+	A := [3]float64{12e3, 18e3, 22e3}
+	B := [3]float64{27e3, 14e3, 17e3}
+	ab := run(A, B)
+	ba := run(B, A)
+	scale := maxAbs(ab.Z)
+	if scale == 0 {
+		t.Fatal("no signal")
+	}
+	for i := range ab.Z {
+		if math.Abs(float64(ab.Z[i]-ba.Z[i])) > 2e-3*scale {
+			t.Fatalf("reciprocity violated at sample %d: %g vs %g (scale %g)",
+				i, ab.Z[i], ba.Z[i], scale)
+		}
+	}
+}
+
+// The surface movie must gather frames from all ranks with consistent
+// geometry, and the wavefield must reach the surface within the run.
+func TestSurfaceMovie(t *testing.T) {
+	model := earthmodel.NewHomogeneous(6371e3, earthmodel.Material{
+		Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+	})
+	model.ICBRadius = 1221.5e3
+	model.CMBRadius = 3480e3
+	g, err := meshfem.Build(meshfem.Config{NexXi: 4, NProcXi: 1, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := g.LocateLatLonDepth(0, 0, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m0 = 1e20
+	res, err := Run(&Simulation{
+		Locals: g.Locals, Plans: g.Plans, Model: model,
+		Sources: []Source{{
+			Rank: loc.Rank, Kind: loc.Kind, Elem: loc.Elem, Ref: loc.Ref,
+			MomentTensor: [3][3]float64{{m0, 0, 0}, {0, m0, 0}, {0, 0, m0}},
+			STF:          GaussianSTF(10, 25),
+		}},
+		Opts: Options{Steps: 40, SurfaceMovieEvery: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Movie
+	if m == nil {
+		t.Fatal("no movie gathered")
+	}
+	if len(m.Frames) != 4 {
+		t.Fatalf("%d frames, want 4", len(m.Frames))
+	}
+	// Point count: every rank's surface points, once each.
+	want := 0
+	for _, l := range g.Locals {
+		want += len(l.Surface.Pts)
+	}
+	if len(m.Lat) != want || len(m.Lon) != want {
+		t.Fatalf("%d positions, want %d", len(m.Lat), want)
+	}
+	for _, f := range m.Frames {
+		if len(f.VNorm) != want {
+			t.Fatalf("frame %d has %d values, want %d", f.Step, len(f.VNorm), want)
+		}
+		for _, v := range f.VNorm {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatal("bad velocity magnitude")
+			}
+		}
+	}
+	for i := range m.Lat {
+		if m.Lat[i] < -90.01 || m.Lat[i] > 90.01 || m.Lon[i] < -180.01 || m.Lon[i] > 180.01 {
+			t.Fatalf("position %d out of bounds: %v %v", i, m.Lat[i], m.Lon[i])
+		}
+	}
+	// The last frame (t ~ 40 steps * dt) should show surface motion
+	// somewhere (the source is shallow).
+	if pk := m.PeakFrame(); pk < 0 {
+		t.Error("no surface motion recorded")
+	}
+}

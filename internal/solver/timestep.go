@@ -1,0 +1,168 @@
+package solver
+
+import (
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/perf"
+)
+
+// timeStep advances the coupled system by one explicit Newmark step:
+//
+//  1. predictor: u += dt v + dt^2/2 a;  v += dt/2 a;  a = 0 (both the
+//     solid displacement and the fluid potential),
+//  2. fluid: chiDdot = Mf^-1 (-K chi + coupling from the predicted
+//     solid displacement), assembled across ranks,
+//  3. solid: a = M^-1 (-K u + sources + fluid traction), assembled,
+//     then the pointwise Coriolis / gravity / ocean-load corrections,
+//  4. corrector: v += dt/2 a.
+//
+// Because the fluid acceleration is final before the solid uses it, the
+// fluid-solid coupling needs no iteration (section 1: "non-iterative
+// coupling between fluid and solid based on the displacement vector").
+func (rs *rankState) timeStep(step int) {
+	dt := float32(rs.dt)
+	half := dt / 2
+	halfSq := dt * dt / 2
+
+	// --- Predictor ------------------------------------------------------
+	rs.prof.Time(perf.PhaseUpdate, func() {
+		for _, f := range rs.solid {
+			if f == nil {
+				continue
+			}
+			for i := range f.dx {
+				f.dx[i] += dt*f.vx[i] + halfSq*f.ax[i]
+				f.dy[i] += dt*f.vy[i] + halfSq*f.ay[i]
+				f.dz[i] += dt*f.vz[i] + halfSq*f.az[i]
+				f.vx[i] += half * f.ax[i]
+				f.vy[i] += half * f.ay[i]
+				f.vz[i] += half * f.az[i]
+				f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
+			}
+			rs.prof.AddFlops(rs.fc.PointUpdate * int64(len(f.dx)))
+		}
+		if fl := rs.fluid; fl != nil {
+			for i := range fl.chi {
+				fl.chi[i] += dt*fl.chiDot[i] + halfSq*fl.chiDdot[i]
+				fl.chiDot[i] += half * fl.chiDdot[i]
+				fl.chiDdot[i] = 0
+			}
+			rs.prof.AddFlops(3 * int64(len(fl.chi)))
+		}
+	})
+
+	// --- Fluid stage ------------------------------------------------------
+	if rs.fluid != nil {
+		rs.prof.Time(perf.PhaseForceFluid, func() {
+			rs.computeFluidForces()
+			rs.addSolidDisplacementToFluid(rs.local.CMB)
+			rs.addSolidDisplacementToFluid(rs.local.ICB)
+		})
+		rs.assembleScalar(int(earthmodel.RegionOuterCore), rs.fluid.chiDdot)
+		rs.prof.Time(perf.PhaseUpdate, func() {
+			fl := rs.fluid
+			for i := range fl.chiDdot {
+				fl.chiDdot[i] *= fl.massInv[i]
+			}
+		})
+	} else {
+		rs.nextTag() // keep the exchange sequence aligned
+	}
+
+	// --- Solid stage ------------------------------------------------------
+	rs.prof.Time(perf.PhaseForceSolid, func() {
+		for _, f := range rs.solid {
+			if f != nil {
+				rs.computeSolidForces(f)
+			}
+		}
+		rs.addFluidTractionToSolid(rs.local.CMB)
+		rs.addFluidTractionToSolid(rs.local.ICB)
+		rs.addSources(step)
+	})
+
+	if rs.opts.CombinedSolidHalo {
+		rs.assembleSolidCombined()
+	} else {
+		for kind, f := range rs.solid {
+			if f != nil {
+				rs.assembleVector(kind, f.ax, f.ay, f.az)
+			} else if !rs.local.Regions[kind].IsFluid() {
+				rs.nextTag()
+			}
+		}
+	}
+
+	rs.prof.Time(perf.PhaseUpdate, func() {
+		twoOmega := float32(0)
+		if rs.opts.Rotation {
+			twoOmega = float32(2 * rs.opts.RotationRate)
+		}
+		for _, f := range rs.solid {
+			if f == nil {
+				continue
+			}
+			for i := range f.ax {
+				f.ax[i] *= f.massInv[i]
+				f.ay[i] *= f.massInv[i]
+				f.az[i] *= f.massInv[i]
+			}
+			// Coriolis: a -= 2 Omega x v with Omega = (0, 0, omega).
+			// The lumped-mass form is exact pointwise because both the
+			// force and the mass carry the same rho*JacW weights.
+			if twoOmega != 0 {
+				for i := range f.ax {
+					f.ax[i] += twoOmega * f.vy[i]
+					f.ay[i] -= twoOmega * f.vx[i]
+				}
+			}
+			// Background gravity (Cowling-style local term): the
+			// linearized restoring tensor H = (g/r)(I - rhat rhat)
+			// + (dg/dr) rhat rhat applied to the displacement.
+			if f.gOverR != nil {
+				for i := range f.ax {
+					ur := f.dx[i]*f.rhatX[i] + f.dy[i]*f.rhatY[i] + f.dz[i]*f.rhatZ[i]
+					gr := f.gOverR[i]
+					dg := f.dgdr[i]
+					f.ax[i] -= gr*(f.dx[i]-ur*f.rhatX[i]) + dg*ur*f.rhatX[i]
+					f.ay[i] -= gr*(f.dy[i]-ur*f.rhatY[i]) + dg*ur*f.rhatY[i]
+					f.az[i] -= gr*(f.dz[i]-ur*f.rhatZ[i]) + dg*ur*f.rhatZ[i]
+				}
+			}
+		}
+		// Ocean load: rescale the normal component of the free-surface
+		// acceleration by M/(M+Mw).
+		if rs.oceanFactor != nil {
+			cm := rs.solid[earthmodel.RegionCrustMantle]
+			sl := &rs.local.Surface
+			for i, pt := range sl.Pts {
+				an := cm.ax[pt]*sl.Nx[i] + cm.ay[pt]*sl.Ny[i] + cm.az[pt]*sl.Nz[i]
+				scale := an * (1 - rs.oceanFactor[i])
+				cm.ax[pt] -= scale * sl.Nx[i]
+				cm.ay[pt] -= scale * sl.Ny[i]
+				cm.az[pt] -= scale * sl.Nz[i]
+			}
+		}
+
+		// --- Corrector ---------------------------------------------------
+		for _, f := range rs.solid {
+			if f == nil {
+				continue
+			}
+			for i := range f.vx {
+				f.vx[i] += half * f.ax[i]
+				f.vy[i] += half * f.ay[i]
+				f.vz[i] += half * f.az[i]
+			}
+		}
+		if fl := rs.fluid; fl != nil {
+			for i := range fl.chiDot {
+				fl.chiDot[i] += half * fl.chiDdot[i]
+			}
+		}
+	})
+
+	// --- Recording --------------------------------------------------------
+	if (step+1)%rs.opts.RecordEvery == 0 {
+		rs.record()
+	}
+}
