@@ -64,6 +64,20 @@ func experimentList() []experiment {
 			},
 		},
 		{
+			id: "OVERLAP", desc: "exposed comm: overlapped vs blocking halo schedule",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex := []int{8, 12}
+				nproc := []int{1, 2}
+				steps := 8
+				if quick {
+					nex = []int{4}
+					nproc = []int{1}
+					steps = 4
+				}
+				return experiments.Overlap(nex, nproc, steps)
+			},
+		},
+		{
 			id: "MEM37", desc: "memory model + section 6 table (TAB6)",
 			run: func(quick bool) (fmt.Stringer, error) {
 				nex := []int{4, 8, 12, 16}

@@ -68,7 +68,7 @@ func main() {
 			100*res.Perf.CommFraction)
 		samples = append(samples, perfmodel.CommSample{
 			P: len(g.Locals), Res: float64(nex),
-			TotalComm: res.Perf.PhaseTotals["mpi"].Seconds(),
+			TotalComm: res.Perf.TotalCommTime().Seconds(),
 		})
 	}
 

@@ -1,0 +1,3 @@
+module specglobe
+
+go 1.24

@@ -1,0 +1,32 @@
+// Package carrier converts between float64 payloads and the []float32
+// message format of the in-process MPI runtime (internal/mpi). The
+// encoding reinterprets each float64 as two 32-bit halves, so the round
+// trip is bit-exact — including negative zero, infinities and NaN
+// payload bits — which the exact point-matching and deterministic
+// reductions of the solver rely on.
+package carrier
+
+import "math"
+
+// FromFloat64s packs float64 values into a []float32 carrier by bit
+// reinterpretation (two 32-bit halves per value), exact round trip.
+func FromFloat64s(data []float64) []float32 {
+	out := make([]float32, 2*len(data))
+	for i, v := range data {
+		bits := math.Float64bits(v)
+		out[2*i] = math.Float32frombits(uint32(bits >> 32))
+		out[2*i+1] = math.Float32frombits(uint32(bits))
+	}
+	return out
+}
+
+// ToFloat64s reverses FromFloat64s.
+func ToFloat64s(c []float32) []float64 {
+	out := make([]float64, len(c)/2)
+	for i := range out {
+		hi := uint64(math.Float32bits(c[2*i]))
+		lo := uint64(math.Float32bits(c[2*i+1]))
+		out[i] = math.Float64frombits(hi<<32 | lo)
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package carrier
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The carrier encoding must round-trip exactly, including negative
+// zero, infinities and NaN payload bits.
+func TestRoundTrip(t *testing.T) {
+	special := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1),
+		math.Pi, -1e-300, 1e300, math.Float64frombits(0x7ff8deadbeef0001)}
+	got := ToFloat64s(FromFloat64s(special))
+	for i, v := range special {
+		if math.Float64bits(got[i]) != math.Float64bits(v) {
+			t.Errorf("round trip %v -> %v", v, got[i])
+		}
+	}
+	f := func(v float64) bool {
+		r := ToFloat64s(FromFloat64s([]float64{v}))
+		return math.Float64bits(r[0]) == math.Float64bits(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLengths(t *testing.T) {
+	if got := FromFloat64s(nil); len(got) != 0 {
+		t.Errorf("empty pack produced %d values", len(got))
+	}
+	if got := ToFloat64s(nil); len(got) != 0 {
+		t.Errorf("empty unpack produced %d values", len(got))
+	}
+	data := []float64{1, 2, 3}
+	if got := FromFloat64s(data); len(got) != 6 {
+		t.Errorf("packed length %d, want 6", len(got))
+	}
+}

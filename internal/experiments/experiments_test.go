@@ -163,6 +163,45 @@ func TestIOModes(t *testing.T) {
 	}
 }
 
+// The overlap ablation must show the overlapped schedule exposing
+// strictly less communication than the blocking schedule (here at 6
+// ranks — one per cubed-sphere chunk).
+func TestOverlapAblation(t *testing.T) {
+	r, err := Overlap([]int{4}, []int{1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	row := r.Rows[0]
+	if row.P < 4 {
+		t.Fatalf("only %d ranks; the ablation needs a real decomposition", row.P)
+	}
+	if row.OuterFrac <= 0 || row.OuterFrac > 1 {
+		t.Errorf("outer fraction %.3f implausible", row.OuterFrac)
+	}
+	if row.HiddenOn <= 0 {
+		t.Error("overlap schedule hid no communication")
+	}
+	if row.ExposedOn >= row.ExposedOff {
+		t.Errorf("exposed comm not reduced: on %.6fs vs off %.6fs",
+			row.ExposedOn, row.ExposedOff)
+	}
+	// The fractions divide by wall-clock busy time, so a loaded runner
+	// adds noise; allow slack instead of a strict comparison (the strict
+	// invariant is the exposed time above).
+	if row.FracOn > row.FracOff+0.05 {
+		t.Errorf("comm fraction not reduced: on %.4f vs off %.4f",
+			row.FracOn, row.FracOff)
+	}
+	for _, want := range []string{"OVERLAP", "exposed-on", "section 5"} {
+		if !strings.Contains(r.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
 func TestLoadBalance(t *testing.T) {
 	s, err := LoadBalance(8, 2)
 	if err != nil {

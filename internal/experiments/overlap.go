@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"specglobe/internal/mesh"
+	"specglobe/internal/solver"
+)
+
+// The OVERLAP experiment measures the paper's central scaling
+// technique: hiding halo-exchange latency behind computation by
+// computing outer (boundary) elements first, posting non-blocking
+// sends/receives, and computing inner elements while messages are in
+// flight. It runs the same simulation under both schedules across rank
+// counts and reports the exposed communication time and comm fraction
+// of each, next to the fraction of elements that are outer (the
+// non-overlappable work).
+
+// OverlapRow is one configuration measured under both schedules.
+type OverlapRow struct {
+	P   int
+	Res int
+	// OuterFrac is the mean fraction of elements classified outer.
+	OuterFrac float64
+	// Exposed communication time summed over ranks (seconds): virtual
+	// network time left on the critical path after overlap.
+	ExposedOn, ExposedOff float64
+	// HiddenOn is the virtual transfer time the overlap schedule hid.
+	HiddenOn float64
+	// Comm fractions of the solver main loop under each schedule.
+	FracOn, FracOff float64
+}
+
+// OverlapResult reproduces the overlap ablation.
+type OverlapResult struct {
+	Rows []OverlapRow
+}
+
+// Overlap sweeps rank counts at fixed resolutions, running the
+// identical simulation with the overlapped and the blocking schedule.
+func Overlap(nexList []int, nprocList []int, steps int) (*OverlapResult, error) {
+	model := testEarth()
+	out := &OverlapResult{}
+	for _, nex := range nexList {
+		for _, nproc := range nprocList {
+			if nex%nproc != 0 {
+				continue
+			}
+			g, err := buildGlobe(nex, nproc, model)
+			if err != nil {
+				return nil, err
+			}
+			src, err := centralSource(g)
+			if err != nil {
+				return nil, err
+			}
+			run := func(mode solver.OverlapMode) (*solver.Result, error) {
+				return solver.Run(&solver.Simulation{
+					Locals: g.Locals, Plans: g.Plans, Model: model,
+					Sources: []solver.Source{src},
+					Opts:    solver.Options{Steps: steps, Overlap: mode},
+				})
+			}
+			on, err := run(solver.OverlapOn)
+			if err != nil {
+				return nil, err
+			}
+			off, err := run(solver.OverlapOff)
+			if err != nil {
+				return nil, err
+			}
+			outerFrac := 0.0
+			for rank, l := range g.Locals {
+				outerFrac += mesh.BuildOverlap(l, g.Plans[rank]).OuterFraction()
+			}
+			outerFrac /= float64(len(g.Locals))
+			out.Rows = append(out.Rows, OverlapRow{
+				P:          g.Decomp.NumRanks(),
+				Res:        nex,
+				OuterFrac:  outerFrac,
+				ExposedOn:  on.MPI.Exposed().Seconds(),
+				ExposedOff: off.MPI.Exposed().Seconds(),
+				HiddenOn:   on.MPI.HiddenCommTime.Seconds(),
+				FracOn:     on.Perf.CommFraction,
+				FracOff:    off.Perf.CommFraction,
+			})
+		}
+	}
+	return out, nil
+}
+
+// String renders the overlap ablation table.
+func (r *OverlapResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OVERLAP: exposed communication, overlapped vs blocking halo schedule\n")
+	fmt.Fprintf(&b, "  %6s %6s %7s %12s %12s %12s %9s %9s\n",
+		"P", "res", "outer%", "exposed-on", "exposed-off", "hidden-on", "frac-on", "frac-off")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %6d %6d %6.1f%% %11.6fs %11.6fs %11.6fs %8.2f%% %8.2f%%\n",
+			row.P, row.Res, 100*row.OuterFrac, row.ExposedOn, row.ExposedOff,
+			row.HiddenOn, 100*row.FracOn, 100*row.FracOff)
+	}
+	b.WriteString("  paper: outer-first scheduling with non-blocking exchanges keeps the\n")
+	b.WriteString("  communication fraction at 1.9%-4.2% out to 62K cores (section 5)\n")
+	return b.String()
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"specglobe/internal/carrier"
 )
 
 // AnySource matches messages from any sending rank in Recv.
@@ -140,8 +142,25 @@ type Stats struct {
 	// latency plus payload/bandwidth charged at each endpoint — the
 	// quantity IPM reports as "total MPI time by all processors".
 	VirtualCommTime time.Duration
+	// HiddenCommTime is the part of VirtualCommTime that was overlapped
+	// with computation: for each non-blocking receive, the modeled
+	// transfer time that fit inside the window between posting the
+	// Irecv and calling Wait/Test. Blocking receives hide nothing.
+	HiddenCommTime time.Duration
 	// MaxRankCommTime is the largest per-rank wall communication time.
 	MaxRankCommTime time.Duration
+}
+
+// Exposed returns the virtual communication time left on the critical
+// path after overlap: VirtualCommTime minus HiddenCommTime. This is the
+// quantity the section 5 comm-fraction measurements should report for a
+// schedule that hides halo exchanges behind computation.
+func (s Stats) Exposed() time.Duration {
+	e := s.VirtualCommTime - s.HiddenCommTime
+	if e < 0 {
+		return 0
+	}
+	return e
 }
 
 // Stats returns the aggregate communication statistics for the world.
@@ -153,6 +172,7 @@ func (w *World) Stats() Stats {
 		s.Messages += cs.Messages
 		s.CommTime += cs.CommTime
 		s.VirtualCommTime += cs.VirtualCommTime
+		s.HiddenCommTime += cs.HiddenCommTime
 		if cs.CommTime > s.MaxRankCommTime {
 			s.MaxRankCommTime = cs.CommTime
 		}
@@ -170,11 +190,17 @@ type Comm struct {
 	queue    []message
 	poisoned bool
 
-	statMu    sync.Mutex
-	bytesSent int64
-	messages  int64
-	commTime  time.Duration
-	vcommTime time.Duration
+	statMu     sync.Mutex
+	bytesSent  int64
+	messages   int64
+	commTime   time.Duration
+	vcommTime  time.Duration
+	hiddenTime time.Duration
+	// commWallMono and hiddenMono mirror commTime and hiddenTime but
+	// are monotonic — never cleared by ResetStats — so outstanding
+	// Irecv overlap windows stay correct across a stats reset.
+	commWallMono time.Duration
+	hiddenMono   time.Duration
 }
 
 // Rank returns this endpoint's rank id.
@@ -188,14 +214,15 @@ func (c *Comm) Stats() Stats {
 	c.statMu.Lock()
 	defer c.statMu.Unlock()
 	return Stats{BytesSent: c.bytesSent, Messages: c.messages,
-		CommTime: c.commTime, VirtualCommTime: c.vcommTime}
+		CommTime: c.commTime, VirtualCommTime: c.vcommTime,
+		HiddenCommTime: c.hiddenTime}
 }
 
 // ResetStats zeroes the communication counters (used to scope accounting
 // to the solver main loop, as IPM does).
 func (c *Comm) ResetStats() {
 	c.statMu.Lock()
-	c.bytesSent, c.messages, c.commTime, c.vcommTime = 0, 0, 0, 0
+	c.bytesSent, c.messages, c.commTime, c.vcommTime, c.hiddenTime = 0, 0, 0, 0, 0
 	c.statMu.Unlock()
 }
 
@@ -204,6 +231,7 @@ func (c *Comm) addComm(bytes int64, msgs int64, d time.Duration) {
 	c.bytesSent += bytes
 	c.messages += msgs
 	c.commTime += d
+	c.commWallMono += d
 	if msgs > 0 || bytes > 0 {
 		v := float64(msgs)*DefaultLinkLatency + float64(bytes)/DefaultLinkBandwidth
 		c.vcommTime += time.Duration(v * float64(time.Second))
@@ -215,8 +243,7 @@ func (c *Comm) addComm(bytes int64, msgs int64, d time.Duration) {
 // message: latency plus payload transfer time.
 func (c *Comm) chargeVirtualRecv(bytes int) {
 	c.statMu.Lock()
-	v := DefaultLinkLatency + float64(bytes)/DefaultLinkBandwidth
-	c.vcommTime += time.Duration(v * float64(time.Second))
+	c.vcommTime += virtualRecvCost(bytes)
 	c.statMu.Unlock()
 }
 
@@ -235,28 +262,44 @@ func (c *Comm) Isend(dst, tag int, data []float32) {
 	c.addComm(int64(4*len(data)), 1, time.Since(start))
 }
 
-// Recv blocks until a message with matching source and tag arrives and
-// returns its payload. src may be AnySource.
-func (c *Comm) Recv(src, tag int) []float32 {
-	start := time.Now()
+// matchLocked scans the queue for a message with matching source and
+// tag and removes it. Caller holds c.mu.
+func (c *Comm) matchLocked(src, tag int) ([]float32, bool) {
+	for i := range c.queue {
+		m := c.queue[i]
+		if m.tag == tag && (src == AnySource || m.src == src) {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return m.data, true
+		}
+	}
+	return nil, false
+}
+
+// recvBlocking blocks until a matching message arrives and returns its
+// payload without any statistics accounting (callers account).
+func (c *Comm) recvBlocking(src, tag int) []float32 {
 	c.mu.Lock()
 	for {
 		if c.poisoned {
 			c.mu.Unlock()
 			panic("mpi: world poisoned by peer rank failure")
 		}
-		for i := range c.queue {
-			m := c.queue[i]
-			if m.tag == tag && (src == AnySource || m.src == src) {
-				c.queue = append(c.queue[:i], c.queue[i+1:]...)
-				c.mu.Unlock()
-				c.addComm(0, 0, time.Since(start))
-				c.chargeVirtualRecv(4 * len(m.data))
-				return m.data
-			}
+		if data, ok := c.matchLocked(src, tag); ok {
+			c.mu.Unlock()
+			return data
 		}
 		c.cond.Wait()
 	}
+}
+
+// Recv blocks until a message with matching source and tag arrives and
+// returns its payload. src may be AnySource.
+func (c *Comm) Recv(src, tag int) []float32 {
+	start := time.Now()
+	data := c.recvBlocking(src, tag)
+	c.addComm(0, 0, time.Since(start))
+	c.chargeVirtualRecv(4 * len(data))
+	return data
 }
 
 // SendRecv exchanges payloads with a partner rank using the same tag in
@@ -370,8 +413,9 @@ func (c *Comm) AllreduceScalar(op ReduceOp, v float64) float64 {
 // across ranks.
 func (c *Comm) Gather(root int, data []float64) [][]float64 {
 	// Transport float64 exactly over the float32 message queue by bit-
-	// splitting each value into two 32-bit carrier halves.
-	u := float64sToCarrier(data)
+	// splitting each value into two 32-bit carrier halves
+	// (internal/carrier).
+	u := carrier.FromFloat64s(data)
 	if c.rank != root {
 		c.Isend(root, tagGather, u)
 		c.Barrier()
@@ -383,33 +427,10 @@ func (c *Comm) Gather(root int, data []float64) [][]float64 {
 		if r == root {
 			continue
 		}
-		out[r] = carrierToFloat64s(c.Recv(r, tagGather))
+		out[r] = carrier.ToFloat64s(c.Recv(r, tagGather))
 	}
 	c.Barrier()
 	return out
 }
 
 const tagGather = -7001
-
-// float64sToCarrier packs float64 values into a []float32 carrier by bit
-// reinterpretation (two 32-bit halves per value), exact round trip.
-func float64sToCarrier(data []float64) []float32 {
-	out := make([]float32, 2*len(data))
-	for i, v := range data {
-		bits := f64bits(v)
-		out[2*i] = f32frombits(uint32(bits >> 32))
-		out[2*i+1] = f32frombits(uint32(bits))
-	}
-	return out
-}
-
-// carrierToFloat64s reverses float64sToCarrier.
-func carrierToFloat64s(c []float32) []float64 {
-	out := make([]float64, len(c)/2)
-	for i := range out {
-		hi := uint64(f32bits(c[2*i]))
-		lo := uint64(f32bits(c[2*i+1]))
-		out[i] = f64frombits(hi<<32 | lo)
-	}
-	return out
-}

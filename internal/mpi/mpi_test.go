@@ -1,11 +1,9 @@
 package mpi
 
 import (
-	"math"
 	"math/rand"
 	"sync"
 	"testing"
-	"testing/quick"
 )
 
 func TestRingPass(t *testing.T) {
@@ -192,25 +190,6 @@ func TestGather(t *testing.T) {
 				t.Errorf("gather[%d][%d] = %v want %v", r, i, v, want)
 			}
 		}
-	}
-}
-
-// The float64 carrier encoding must round-trip exactly, including
-// negative zero, infinities and NaN payload bits.
-func TestCarrierRoundTrip(t *testing.T) {
-	special := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.Pi, -1e-300, 1e300}
-	got := carrierToFloat64s(float64sToCarrier(special))
-	for i, v := range special {
-		if math.Float64bits(got[i]) != math.Float64bits(v) {
-			t.Errorf("round trip %v -> %v", v, got[i])
-		}
-	}
-	f := func(v float64) bool {
-		r := carrierToFloat64s(float64sToCarrier([]float64{v}))
-		return math.Float64bits(r[0]) == math.Float64bits(v)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
-		t.Error(err)
 	}
 }
 

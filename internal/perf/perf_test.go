@@ -104,11 +104,34 @@ func TestCollectorConcurrent(t *testing.T) {
 	}
 }
 
+// Hidden (overlapped) communication must be reported but excluded from
+// busy time and the communication fraction: that wall time is already
+// counted as computation.
+func TestHiddenCommExcludedFromBusy(t *testing.T) {
+	p := NewProfiler(0)
+	p.total = 100 * time.Millisecond
+	p.phases[PhaseForceSolid] = 90 * time.Millisecond
+	p.phases[PhaseComm] = 10 * time.Millisecond
+	p.phases[PhaseCommHidden] = 40 * time.Millisecond
+	r := Aggregate([]*Profiler{p})
+	if r.BusyTime != 100*time.Millisecond {
+		t.Errorf("busy %v includes hidden comm", r.BusyTime)
+	}
+	if r.HiddenCommTime != 40*time.Millisecond {
+		t.Errorf("hidden %v", r.HiddenCommTime)
+	}
+	wantFrac := 0.1
+	if d := r.CommFraction - wantFrac; d > 1e-12 || d < -1e-12 {
+		t.Errorf("comm fraction %v want %v", r.CommFraction, wantFrac)
+	}
+}
+
 func TestPhaseNames(t *testing.T) {
 	names := map[Phase]string{
 		PhaseForceSolid: "force_solid",
 		PhaseForceFluid: "force_fluid",
 		PhaseComm:       "mpi",
+		PhaseCommHidden: "mpi_hidden",
 		PhaseUpdate:     "update",
 		PhaseOther:      "other",
 	}

@@ -19,19 +19,30 @@ import (
 // with 1/rho coefficient) into chiDdot. This is the second of the two
 // dominant routines of section 4.3: same cutplane structure, one scalar
 // field instead of three components.
-func (rs *rankState) computeFluidForces() {
+//
+// elems restricts the sweep to a sub-list of element indices (the
+// outer/inner split of the overlap schedule); nil means every element.
+func (rs *rankState) computeFluidForces(elems []int32) {
 	fl := rs.fluid
 	if fl == nil {
 		return
 	}
 	reg := fl.reg
 	k := rs.kern
+	numE := reg.NSpec
+	if elems != nil {
+		numE = len(elems)
+	}
 
 	var chi [simd.PadLen]float32
 	var t1, t2, t3 [simd.PadLen]float32
 	var s1, s2, s3 [simd.PadLen]float32
 
-	for e := 0; e < reg.NSpec; e++ {
+	for ei := 0; ei < numE; ei++ {
+		e := ei
+		if elems != nil {
+			e = int(elems[ei])
+		}
 		base := e * mesh.NGLL3
 		ib := reg.Ibool[base : base+mesh.NGLL3]
 		for p, g := range ib {
@@ -60,7 +71,7 @@ func (rs *rankState) computeFluidForces() {
 			fl.chiDdot[g] -= k.fac1[p]*t1[p] + k.fac2[p]*t2[p] + k.fac3[p]*t3[p]
 		}
 	}
-	rs.prof.AddFlops(rs.fc.FluidElement * int64(reg.NSpec))
+	rs.prof.AddFlops(rs.fc.FluidElement * int64(numE))
 }
 
 // addSolidDisplacementToFluid applies the fluid-side coupling term:

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"math"
+	"sort"
 
 	"specglobe/internal/earthmodel"
 	"specglobe/internal/mesh"
@@ -68,6 +69,11 @@ type rankState struct {
 	kern  *kernels
 	fc    perf.FlopCounts
 
+	// overlap is true when the solver runs the outer/inner schedule;
+	// ov then holds the element classification (nil otherwise).
+	overlap bool
+	ov      *mesh.Overlap
+
 	solid [3]*solidField // indexed by region kind; nil for the fluid slot
 	fluid *fluidField    // nil if the mesh has no outer core
 
@@ -96,6 +102,10 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 		prof:  perf.NewProfiler(rank),
 		kern:  newKernels(opts.Kernel),
 		fc:    perf.DefaultFlopCounts(),
+	}
+	if opts.Overlap == OverlapOn {
+		rs.overlap = true
+		rs.ov = mesh.BuildOverlap(rs.local, rs.plan)
 	}
 
 	for kind := 0; kind < 3; kind++ {
@@ -234,43 +244,90 @@ func (rs *rankState) nextTag() int {
 	return rs.seq
 }
 
+// haloRecv is one outstanding receive of a halo assembly: wait yields
+// the peer's payload, apply accumulates it into the local field.
+type haloRecv struct {
+	wait  func() []float32
+	apply func(got []float32)
+}
+
+// pendingExchange is an in-flight halo assembly started by one of the
+// beginAssemble* methods. The local contributions for every shared
+// point are already packed and sent; finish waits for the peers'
+// payloads (in deterministic edge order) and accumulates them.
+type pendingExchange struct {
+	recvs []haloRecv
+}
+
+// finish completes the exchange. Safe on an empty (edge-less) pending.
+func (p *pendingExchange) finish() {
+	for _, r := range p.recvs {
+		r.apply(r.wait())
+	}
+}
+
+// postRecv sets up the receive half of one edge exchange. With the
+// overlap schedule the receive is posted non-blocking *now*, so the
+// virtual transfer time between here and finish is credited as hidden;
+// the blocking schedule defers to a plain Recv inside finish.
+func (rs *rankState) postRecv(peer, tag int) func() []float32 {
+	if rs.overlap {
+		req := rs.comm.Irecv(peer, tag)
+		return req.Wait
+	}
+	return func() []float32 { return rs.comm.Recv(peer, tag) }
+}
+
 // assembleScalar sums the shared-point contributions of a per-point
-// scalar array across ranks (in place).
+// scalar array across ranks (in place), blocking until complete.
 func (rs *rankState) assembleScalar(kind int, vals []float32) {
+	rs.beginAssembleScalar(kind, vals).finish()
+}
+
+// beginAssembleScalar packs and sends this rank's contributions for a
+// scalar field and posts the receives. Halo-point entries of vals must
+// be final before the call; only non-halo points may be written between
+// begin and finish.
+func (rs *rankState) beginAssembleScalar(kind int, vals []float32) *pendingExchange {
 	// Consume a tag unconditionally so sequence numbers stay aligned
 	// across ranks even when this rank has no edges for the region.
 	tag := rs.nextTag()
+	p := &pendingExchange{}
 	edges := rs.plan.Edges[kind]
-	if len(edges) == 0 {
-		return
-	}
 	// Send own contributions first (copied before any adds).
-	bufs := make([][]float32, len(edges))
-	for i, e := range edges {
+	for i := range edges {
+		e := &edges[i]
 		buf := make([]float32, len(e.Idx))
 		for j, idx := range e.Idx {
 			buf[j] = vals[idx]
 		}
-		bufs[i] = buf
 		rs.comm.Isend(e.Peer, tag, buf)
+		p.recvs = append(p.recvs, haloRecv{
+			wait: rs.postRecv(e.Peer, tag),
+			apply: func(got []float32) {
+				for j, idx := range e.Idx {
+					vals[idx] += got[j]
+				}
+			},
+		})
 	}
-	for _, e := range edges {
-		got := rs.comm.Recv(e.Peer, tag)
-		for j, idx := range e.Idx {
-			vals[idx] += got[j]
-		}
-	}
+	return p
 }
 
 // assembleVector is assembleScalar for three-component fields packed as
 // [x..., y..., z...] per edge.
 func (rs *rankState) assembleVector(kind int, x, y, z []float32) {
+	rs.beginAssembleVector(kind, x, y, z).finish()
+}
+
+// beginAssembleVector is beginAssembleScalar for three-component
+// fields.
+func (rs *rankState) beginAssembleVector(kind int, x, y, z []float32) *pendingExchange {
 	tag := rs.nextTag()
+	p := &pendingExchange{}
 	edges := rs.plan.Edges[kind]
-	if len(edges) == 0 {
-		return
-	}
-	for _, e := range edges {
+	for i := range edges {
+		e := &edges[i]
 		n := len(e.Idx)
 		buf := make([]float32, 3*n)
 		for j, idx := range e.Idx {
@@ -279,23 +336,31 @@ func (rs *rankState) assembleVector(kind int, x, y, z []float32) {
 			buf[2*n+j] = z[idx]
 		}
 		rs.comm.Isend(e.Peer, tag, buf)
+		p.recvs = append(p.recvs, haloRecv{
+			wait: rs.postRecv(e.Peer, tag),
+			apply: func(got []float32) {
+				for j, idx := range e.Idx {
+					x[idx] += got[j]
+					y[idx] += got[n+j]
+					z[idx] += got[2*n+j]
+				}
+			},
+		})
 	}
-	for _, e := range edges {
-		got := rs.comm.Recv(e.Peer, tag)
-		n := len(e.Idx)
-		for j, idx := range e.Idx {
-			x[idx] += got[j]
-			y[idx] += got[n+j]
-			z[idx] += got[2*n+j]
-		}
-	}
+	return p
 }
 
 // assembleSolidCombined exchanges crust/mantle and inner-core boundary
 // accelerations in a single message per neighbor (the 33% message-count
-// reduction of the paper). Peers of either region receive one combined
-// buffer.
+// reduction of the paper), blocking until complete.
 func (rs *rankState) assembleSolidCombined() {
+	rs.beginAssembleSolidCombined().finish()
+}
+
+// beginAssembleSolidCombined packs both solid regions' boundary
+// accelerations into one message per neighbor and posts the receives.
+// Peers of either region receive one combined buffer.
+func (rs *rankState) beginAssembleSolidCombined() *pendingExchange {
 	cm := rs.solid[earthmodel.RegionCrustMantle]
 	ic := rs.solid[earthmodel.RegionInnerCore]
 	cmEdges := rs.plan.Edges[earthmodel.RegionCrustMantle]
@@ -312,15 +377,16 @@ func (rs *rankState) assembleSolidCombined() {
 		peers[icEdges[i].Peer] = pe
 	}
 	tag := rs.nextTag()
+	p := &pendingExchange{}
 	if len(peers) == 0 {
-		return
+		return p
 	}
 	// Deterministic peer order.
 	order := make([]int, 0, len(peers))
-	for p := range peers {
-		order = append(order, p)
+	for peer := range peers {
+		order = append(order, peer)
 	}
-	sortInts(order)
+	sort.Ints(order)
 	pack := func(f *solidField, e *mesh.HaloEdge, buf []float32) []float32 {
 		if e == nil {
 			return buf
@@ -335,13 +401,6 @@ func (rs *rankState) assembleSolidCombined() {
 		}
 		return buf
 	}
-	for _, p := range order {
-		pe := peers[p]
-		var buf []float32
-		buf = pack(cm, pe[0], buf)
-		buf = pack(ic, pe[1], buf)
-		rs.comm.Isend(p, tag, buf)
-	}
 	unpack := func(f *solidField, e *mesh.HaloEdge, got []float32, off int) int {
 		if e == nil {
 			return off
@@ -354,12 +413,21 @@ func (rs *rankState) assembleSolidCombined() {
 		}
 		return off + 3*n
 	}
-	for _, p := range order {
-		pe := peers[p]
-		got := rs.comm.Recv(p, tag)
-		off := unpack(cm, pe[0], got, 0)
-		unpack(ic, pe[1], got, off)
+	for _, peer := range order {
+		pe := peers[peer]
+		var buf []float32
+		buf = pack(cm, pe[0], buf)
+		buf = pack(ic, pe[1], buf)
+		rs.comm.Isend(peer, tag, buf)
+		p.recvs = append(p.recvs, haloRecv{
+			wait: rs.postRecv(peer, tag),
+			apply: func(got []float32) {
+				off := unpack(cm, pe[0], got, 0)
+				unpack(ic, pe[1], got, off)
+			},
+		})
 	}
+	return p
 }
 
 // maxDisplacement returns the largest absolute displacement component
@@ -381,12 +449,4 @@ func (rs *rankState) maxDisplacement() float64 {
 		}
 	}
 	return m
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }

@@ -12,12 +12,21 @@ import (
 // the 125-point block (section 4.3), followed by pointwise stress
 // evaluation and the weighted-transpose accumulation.
 //
+// elems restricts the sweep to a sub-list of element indices (the
+// outer/inner split of the overlap schedule); nil means every element.
+// Each element must be visited exactly once per step — the attenuation
+// memory variables advance when their element is processed.
+//
 // With attenuation enabled, the deviatoric stress is corrected by the
 // standard-linear-solid memory variables, which are then advanced one
 // step with their exponential recursion.
-func (rs *rankState) computeSolidForces(f *solidField) {
+func (rs *rankState) computeSolidForces(f *solidField, elems []int32) {
 	reg := f.reg
 	k := rs.kern
+	numE := reg.NSpec
+	if elems != nil {
+		numE = len(elems)
+	}
 
 	// Element scratch blocks (padded to 128 floats as in section 4.3).
 	var ux, uy, uz [simd.PadLen]float32
@@ -28,7 +37,11 @@ func (rs *rankState) computeSolidForces(f *solidField) {
 	var s1y, s2y, s3y [simd.PadLen]float32
 	var s1z, s2z, s3z [simd.PadLen]float32
 
-	for e := 0; e < reg.NSpec; e++ {
+	for ei := 0; ei < numE; ei++ {
+		e := ei
+		if elems != nil {
+			e = int(elems[ei])
+		}
 		base := e * mesh.NGLL3
 		ib := reg.Ibool[base : base+mesh.NGLL3]
 
@@ -140,11 +153,11 @@ func (rs *rankState) computeSolidForces(f *solidField) {
 			f.az[g] -= k.fac1[p]*t1z[p] + k.fac2[p]*t2z[p] + k.fac3[p]*t3z[p]
 		}
 	}
-	flops := rs.fc.SolidElement * int64(reg.NSpec)
+	flops := rs.fc.SolidElement * int64(numE)
 	if f.att != nil {
 		// Memory-variable work: per point, per mechanism, 6 components
 		// of subtract + 2-op recursion update, plus the deviator setup.
-		flops += int64(reg.NSpec) * int64(mesh.NGLL3) * int64(f.att.nsls*6*3+8)
+		flops += int64(numE) * int64(mesh.NGLL3) * int64(f.att.nsls*6*3+8)
 	}
 	rs.prof.AddFlops(flops)
 }

@@ -45,6 +45,23 @@ const (
 // EarthRotationRate is the sidereal rotation rate in rad/s.
 const EarthRotationRate = 7.292115e-5
 
+// OverlapMode selects the halo-exchange schedule of the solver loop.
+type OverlapMode int
+
+const (
+	// OverlapAuto resolves to OverlapOn — overlapping communication
+	// with computation is the paper's default scaling technique.
+	OverlapAuto OverlapMode = iota
+	// OverlapOn computes outer-element forces first, posts non-blocking
+	// sends and receives, computes inner elements while messages are in
+	// flight, and only then waits and accumulates.
+	OverlapOn
+	// OverlapOff is the blocking schedule: all forces, then sends, then
+	// blocking receives — communication fully exposed on the critical
+	// path. Kept as the measured baseline for the overlap ablation.
+	OverlapOff
+)
+
 // Options configure a solver run.
 type Options struct {
 	// Dt is the time step in seconds; 0 derives it from the mesh using
@@ -76,6 +93,10 @@ type Options struct {
 	// of MPI messages by 33% inside each chunk by handling crust mantle
 	// and inner core simultaneously".
 	CombinedSolidHalo bool
+	// Overlap selects the halo-exchange schedule (default: overlap
+	// communication with inner-element computation). Composes with
+	// CombinedSolidHalo.
+	Overlap OverlapMode
 	// RecordEvery records seismogram samples every N steps (default 1).
 	RecordEvery int
 	// EnergyEvery computes a global energy sample every N steps
@@ -105,6 +126,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxDisplacement == 0 {
 		o.MaxDisplacement = 1e10
+	}
+	if o.Overlap == OverlapAuto {
+		o.Overlap = OverlapOn
 	}
 	return o
 }
@@ -294,7 +318,9 @@ func Run(sim *Simulation) (*Result, error) {
 			}
 		}
 		rs.prof.Stop()
-		rs.prof.Add(perf.PhaseComm, c.Stats().VirtualCommTime)
+		st := c.Stats()
+		rs.prof.Add(perf.PhaseComm, st.Exposed())
+		rs.prof.Add(perf.PhaseCommHidden, st.HiddenCommTime)
 		collector.Put(rs.prof)
 		if movie != nil {
 			resMu.Lock()

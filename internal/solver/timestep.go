@@ -51,13 +51,31 @@ func (rs *rankState) timeStep(step int) {
 	})
 
 	// --- Fluid stage ------------------------------------------------------
+	//
+	// With the overlap schedule (the paper's central scaling technique),
+	// only the *outer* elements — those contributing to halo points —
+	// are computed before the exchange is posted; the inner elements run
+	// while the messages are in flight, and the received contributions
+	// are accumulated afterwards. The coupling and source terms touch
+	// boundary points and therefore always run before the post.
 	if rs.fluid != nil {
+		oc := int(earthmodel.RegionOuterCore)
+		var fluidOuter, fluidInner []int32 // nil sub-lists mean "all"
+		if rs.overlap {
+			fluidOuter, fluidInner = rs.ov.Outer[oc], rs.ov.Inner[oc]
+		}
 		rs.prof.Time(perf.PhaseForceFluid, func() {
-			rs.computeFluidForces()
+			rs.computeFluidForces(fluidOuter)
 			rs.addSolidDisplacementToFluid(rs.local.CMB)
 			rs.addSolidDisplacementToFluid(rs.local.ICB)
 		})
-		rs.assembleScalar(int(earthmodel.RegionOuterCore), rs.fluid.chiDdot)
+		fluidHalo := rs.beginAssembleScalar(oc, rs.fluid.chiDdot)
+		if rs.overlap {
+			rs.prof.Time(perf.PhaseForceFluid, func() {
+				rs.computeFluidForces(fluidInner)
+			})
+		}
+		fluidHalo.finish()
 		rs.prof.Time(perf.PhaseUpdate, func() {
 			fl := rs.fluid
 			for i := range fl.chiDdot {
@@ -69,10 +87,14 @@ func (rs *rankState) timeStep(step int) {
 	}
 
 	// --- Solid stage ------------------------------------------------------
+	var outer, inner [3][]int32 // nil sub-lists mean "all elements"
+	if rs.overlap {
+		outer, inner = rs.ov.Outer, rs.ov.Inner
+	}
 	rs.prof.Time(perf.PhaseForceSolid, func() {
-		for _, f := range rs.solid {
+		for kind, f := range rs.solid {
 			if f != nil {
-				rs.computeSolidForces(f)
+				rs.computeSolidForces(f, outer[kind])
 			}
 		}
 		rs.addFluidTractionToSolid(rs.local.CMB)
@@ -80,16 +102,33 @@ func (rs *rankState) timeStep(step int) {
 		rs.addSources(step)
 	})
 
+	// Post the halo exchange: outer forces, coupling and sources above
+	// fixed every halo point's local contribution.
+	var solidHalo []*pendingExchange
 	if rs.opts.CombinedSolidHalo {
-		rs.assembleSolidCombined()
+		solidHalo = append(solidHalo, rs.beginAssembleSolidCombined())
 	} else {
 		for kind, f := range rs.solid {
 			if f != nil {
-				rs.assembleVector(kind, f.ax, f.ay, f.az)
+				solidHalo = append(solidHalo, rs.beginAssembleVector(kind, f.ax, f.ay, f.az))
 			} else if !rs.local.Regions[kind].IsFluid() {
 				rs.nextTag()
 			}
 		}
+	}
+	if rs.overlap {
+		// Inner elements touch no halo point: they compute while the
+		// boundary messages are in flight.
+		rs.prof.Time(perf.PhaseForceSolid, func() {
+			for kind, f := range rs.solid {
+				if f != nil {
+					rs.computeSolidForces(f, inner[kind])
+				}
+			}
+		})
+	}
+	for _, p := range solidHalo {
+		p.finish()
 	}
 
 	rs.prof.Time(perf.PhaseUpdate, func() {
