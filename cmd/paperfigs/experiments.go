@@ -78,6 +78,18 @@ func experimentList() []experiment {
 			},
 		},
 		{
+			id: "HYBRID", desc: "rank x worker force kernels: speedup vs exposed comm",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex, nproc, steps := 8, 1, 8
+				workers := []int{1, 2, 4, 8}
+				if quick {
+					nex, steps = 4, 4
+					workers = []int{1, 2, 4}
+				}
+				return experiments.Hybrid(nex, nproc, workers, steps)
+			},
+		},
+		{
 			id: "MEM37", desc: "memory model + section 6 table (TAB6)",
 			run: func(quick bool) (fmt.Stringer, error) {
 				nex := []int{4, 8, 12, 16}

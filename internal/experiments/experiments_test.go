@@ -202,6 +202,45 @@ func TestOverlapAblation(t *testing.T) {
 	}
 }
 
+func TestHybridAblation(t *testing.T) {
+	r, err := Hybrid(4, 1, []int{1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(r.Rows))
+	}
+	if r.P < 6 {
+		t.Fatalf("only %d ranks; the ablation needs a real decomposition", r.P)
+	}
+	if r.MaxColors <= 1 {
+		t.Errorf("max colors %d: coloring degenerate", r.MaxColors)
+	}
+	first := r.Rows[0]
+	if first.Workers != 1 || first.Speedup != 1 {
+		t.Errorf("baseline row malformed: workers %d speedup %.2f", first.Workers, first.Speedup)
+	}
+	for _, row := range r.Rows {
+		if row.StepsPerSec <= 0 || row.Speedup <= 0 {
+			t.Errorf("workers=%d: non-positive throughput", row.Workers)
+		}
+		if row.HiddenSec <= 0 {
+			t.Errorf("workers=%d: overlap hid nothing", row.Workers)
+		}
+		if row.ExposedFrac < 0 || row.ExposedFrac > 1 {
+			t.Errorf("workers=%d: comm fraction %.3f out of range", row.Workers, row.ExposedFrac)
+		}
+		if row.WorkerUtil <= 0 {
+			t.Errorf("workers=%d: no worker utilization recorded", row.Workers)
+		}
+	}
+	for _, want := range []string{"HYBRID", "speedup", "bit-identical"} {
+		if !strings.Contains(r.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
 func TestLoadBalance(t *testing.T) {
 	s, err := LoadBalance(8, 2)
 	if err != nil {

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"specglobe/internal/mesh"
+	"specglobe/internal/solver"
+)
+
+// The HYBRID ablation measures the hybrid rank x worker execution of
+// the force kernels: the same simulation at a fixed rank count, run
+// with increasing sizes of the shared worker pool (the substitute for
+// the threads-per-MPI-rank knob of hybrid seismic codes). Two numbers
+// matter, and they pull against each other:
+//
+//   - steps/sec speedup over the Workers=1 serial sweep (the node-level
+//     strong scaling the mesh coloring unlocks), and
+//   - the exposed communication time and fraction: parallel kernels
+//     shrink the inner-element window that hides halo traffic, so a
+//     fixed message volume has less computation to hide behind and the
+//     comm fraction creeps up exactly as the compute side speeds up.
+//
+// Results are bit-identical across the sweep (the coloring fixes the
+// accumulation order), so the rows differ only in timing.
+
+// HybridRow is one worker-count configuration.
+type HybridRow struct {
+	Workers int
+	// WallSec is the solver main-loop wall time (setup excluded: mass
+	// assembly, coloring and pool spin-up do not scale with workers).
+	WallSec     float64
+	StepsPerSec float64
+	// Speedup is StepsPerSec over the Workers=1 row (over the first
+	// row if the sweep does not include Workers=1).
+	Speedup float64
+	// Exposed/Hidden virtual communication time summed over ranks.
+	ExposedSec, HiddenSec float64
+	// ExposedFrac is the exposed comm fraction of the solver main loop.
+	ExposedFrac float64
+	// WorkerUtil is the mean pool-worker busy fraction of the wall time.
+	WorkerUtil float64
+}
+
+// HybridResult is the worker sweep at one mesh configuration.
+type HybridResult struct {
+	P, Res, Steps int
+	// OuterFrac is the mean fraction of elements whose work cannot be
+	// overlapped (context for the exposed-comm trend).
+	OuterFrac float64
+	// MaxColors is the largest per-region color count (each color is
+	// one barrier-separated parallel sweep).
+	MaxColors int
+	Rows      []HybridRow
+}
+
+// Hybrid sweeps the worker-pool size at a fixed rank count and
+// resolution, reporting speedup and exposed-comm fraction per row.
+func Hybrid(nex, nproc int, workersList []int, steps int) (*HybridResult, error) {
+	if len(workersList) == 0 {
+		return nil, fmt.Errorf("experiments: Hybrid needs at least one worker count")
+	}
+	model := testEarth()
+	g, err := buildGlobe(nex, nproc, model)
+	if err != nil {
+		return nil, err
+	}
+	src, err := centralSource(g)
+	if err != nil {
+		return nil, err
+	}
+	out := &HybridResult{P: g.Decomp.NumRanks(), Res: nex, Steps: steps}
+	for rank, l := range g.Locals {
+		out.OuterFrac += mesh.BuildOverlap(l, g.Plans[rank]).OuterFraction()
+		if mc := mesh.BuildColoring(l).MaxColors(); mc > out.MaxColors {
+			out.MaxColors = mc
+		}
+	}
+	out.OuterFrac /= float64(len(g.Locals))
+	for _, w := range workersList {
+		res, err := solver.Run(&solver.Simulation{
+			Locals: g.Locals, Plans: g.Plans, Model: model,
+			Sources: []solver.Source{src},
+			Opts:    solver.Options{Steps: steps, Workers: w},
+		})
+		if err != nil {
+			return nil, err
+		}
+		wall := res.Perf.WallTime.Seconds()
+		out.Rows = append(out.Rows, HybridRow{
+			Workers:     w,
+			WallSec:     wall,
+			StepsPerSec: float64(steps) / wall,
+			ExposedSec:  res.MPI.Exposed().Seconds(),
+			HiddenSec:   res.MPI.HiddenCommTime.Seconds(),
+			ExposedFrac: res.Perf.CommFraction,
+			WorkerUtil:  res.Perf.WorkerUtilization(),
+		})
+	}
+	base := out.Rows[0].StepsPerSec
+	for _, row := range out.Rows {
+		if row.Workers == 1 {
+			base = row.StepsPerSec
+			break
+		}
+	}
+	for i := range out.Rows {
+		out.Rows[i].Speedup = out.Rows[i].StepsPerSec / base
+	}
+	return out, nil
+}
+
+// String renders the hybrid ablation table.
+func (r *HybridResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HYBRID: rank x worker force kernels (P=%d, res=%d, %d steps; outer %.1f%%, <=%d colors)\n",
+		r.P, r.Res, r.Steps, 100*r.OuterFrac, r.MaxColors)
+	fmt.Fprintf(&b, "  %7s %10s %8s %12s %12s %9s %6s\n",
+		"workers", "steps/s", "speedup", "exposed(s)", "hidden(s)", "frac", "util")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %7d %10.2f %7.2fx %12.6f %12.6f %8.2f%% %5.0f%%\n",
+			row.Workers, row.StepsPerSec, row.Speedup, row.ExposedSec, row.HiddenSec,
+			100*row.ExposedFrac, 100*row.WorkerUtil)
+	}
+	b.WriteString("  results are bit-identical across worker counts (mesh coloring fixes the\n")
+	b.WriteString("  accumulation order); parallel kernels shrink the inner-element window that\n")
+	b.WriteString("  hides halo traffic, so exposed comm grows as wall time falls\n")
+	return b.String()
+}

@@ -1,0 +1,184 @@
+// External test package so the coloring can be exercised on real
+// multi-rank meshes from boxmesh and meshfem (which import mesh).
+package mesh_test
+
+import (
+	"testing"
+
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/mesh"
+	"specglobe/internal/meshfem"
+)
+
+// checkColoring verifies the structural invariants of one region's
+// coloring: every element carries exactly one valid color, and no two
+// elements of the same color share an Ibool entry.
+func checkColoring(t *testing.T, tag string, reg *mesh.Region, col *mesh.Coloring, kind int) {
+	t.Helper()
+	colorOf := col.ColorOf[kind]
+	if len(colorOf) != reg.NSpec {
+		t.Fatalf("%s: %d colors for %d elements", tag, len(colorOf), reg.NSpec)
+	}
+	for e, cn := range colorOf {
+		if cn < 0 || int(cn) >= col.NumColors[kind] {
+			t.Fatalf("%s: element %d has color %d outside [0,%d)", tag, e, cn, col.NumColors[kind])
+		}
+	}
+	// Conflict-freedom: walk each global point's incident elements; any
+	// two sharing a point must differ in color.
+	lastElem := make([]int32, reg.NGlob)
+	for i := range lastElem {
+		lastElem[i] = -1
+	}
+	for e := 0; e < reg.NSpec; e++ {
+		for _, g := range reg.Ibool[e*mesh.NGLL3 : (e+1)*mesh.NGLL3] {
+			if prev := lastElem[g]; prev >= 0 && colorOf[prev] == colorOf[e] {
+				t.Fatalf("%s: elements %d and %d share point %d with the same color %d",
+					tag, prev, e, g, colorOf[e])
+			}
+		}
+	}
+	// Full conflict check (not just consecutive pairs): per point,
+	// every pair of incident elements.
+	incident := make([][]int32, reg.NGlob)
+	for e := 0; e < reg.NSpec; e++ {
+		for _, g := range reg.Ibool[e*mesh.NGLL3 : (e+1)*mesh.NGLL3] {
+			incident[g] = append(incident[g], int32(e))
+		}
+	}
+	for g, elems := range incident {
+		for i := 0; i < len(elems); i++ {
+			for j := i + 1; j < len(elems); j++ {
+				if colorOf[elems[i]] == colorOf[elems[j]] {
+					t.Fatalf("%s: same-color elements %d,%d share point %d",
+						tag, elems[i], elems[j], g)
+				}
+			}
+		}
+	}
+}
+
+// checkClassesPartition verifies that Classes(elems) is an exact
+// partition of elems: same elements, each exactly once, each class
+// single-colored and ascending.
+func checkClassesPartition(t *testing.T, tag string, col *mesh.Coloring, kind, nspec int, elems []int32) {
+	t.Helper()
+	classes := col.Classes(kind, elems)
+	want := elems
+	if want == nil {
+		want = make([]int32, nspec)
+		for i := range want {
+			want[i] = int32(i)
+		}
+	}
+	seen := make(map[int32]bool, len(want))
+	total := 0
+	for _, class := range classes {
+		if len(class) == 0 {
+			t.Fatalf("%s: empty class returned", tag)
+		}
+		cn := col.ColorOf[kind][class[0]]
+		prev := int32(-1)
+		for _, e := range class {
+			if col.ColorOf[kind][e] != cn {
+				t.Fatalf("%s: class mixes colors %d and %d", tag, cn, col.ColorOf[kind][e])
+			}
+			if e <= prev {
+				t.Fatalf("%s: class not ascending at element %d", tag, e)
+			}
+			prev = e
+			if seen[e] {
+				t.Fatalf("%s: element %d appears in two classes", tag, e)
+			}
+			seen[e] = true
+			total++
+		}
+	}
+	if total != len(want) {
+		t.Fatalf("%s: classes hold %d elements, want %d", tag, total, len(want))
+	}
+	for _, e := range want {
+		if !seen[e] {
+			t.Fatalf("%s: element %d missing from classes", tag, e)
+		}
+	}
+}
+
+// Box meshes: every element in exactly one color, no same-color point
+// sharing, and the classes partition the element set.
+func TestColoringInvariantsBox(t *testing.T) {
+	for _, nranks := range []int{1, 4} {
+		locals, _ := buildRanks(t, nranks)
+		for rank, l := range locals {
+			col := mesh.BuildColoring(l)
+			for kind := 0; kind < 3; kind++ {
+				reg := l.Regions[kind]
+				if reg == nil || reg.NSpec == 0 {
+					if col.NumColors[kind] != 0 || col.Classes(kind, nil) != nil {
+						t.Fatalf("rank %d kind %d: empty region colored", rank, kind)
+					}
+					continue
+				}
+				tag := "box"
+				checkColoring(t, tag, reg, col, kind)
+				checkClassesPartition(t, tag, col, kind, reg.NSpec, nil)
+				// A conforming hex mesh needs at most 27 colors (the
+				// element plus its point-sharing neighborhood); greedy
+				// should not exceed that.
+				if col.NumColors[kind] > 27 {
+					t.Errorf("rank %d kind %d: %d colors for a hex mesh", rank, kind, col.NumColors[kind])
+				}
+			}
+		}
+	}
+}
+
+// Globe meshes cover all three regions, including the central cube's
+// irregular connectivity, and the composition with the outer/inner
+// overlap split: the colored outer and inner classes must partition
+// the Overlap classification exactly.
+func TestColoringComposesWithOverlap(t *testing.T) {
+	model := earthmodel.NewHomogeneous(6371e3, earthmodel.Material{
+		Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+	})
+	model.ICBRadius = 1221.5e3
+	model.CMBRadius = 3480e3
+	g, err := meshfem.Build(meshfem.Config{NexXi: 4, NProcXi: 1, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOuter := false
+	for rank, l := range g.Locals {
+		col := mesh.BuildColoring(l)
+		ov := mesh.BuildOverlap(l, g.Plans[rank])
+		for kind := 0; kind < 3; kind++ {
+			reg := l.Regions[kind]
+			if reg == nil || reg.NSpec == 0 {
+				continue
+			}
+			checkColoring(t, "globe", reg, col, kind)
+			checkClassesPartition(t, "globe/outer", col, kind, reg.NSpec, ov.Outer[kind])
+			checkClassesPartition(t, "globe/inner", col, kind, reg.NSpec, ov.Inner[kind])
+			if len(ov.Outer[kind]) > 0 {
+				sawOuter = true
+			}
+			// The outer and inner classes together must hold exactly
+			// the region's elements (the overlap split is a partition,
+			// and Classes preserves it).
+			n := 0
+			for _, class := range col.Classes(kind, ov.Outer[kind]) {
+				n += len(class)
+			}
+			for _, class := range col.Classes(kind, ov.Inner[kind]) {
+				n += len(class)
+			}
+			if n != reg.NSpec {
+				t.Fatalf("rank %d kind %d: outer+inner classes hold %d of %d elements",
+					rank, kind, n, reg.NSpec)
+			}
+		}
+	}
+	if !sawOuter {
+		t.Error("no outer elements on a 6-rank globe; overlap composition untested")
+	}
+}

@@ -30,6 +30,13 @@ const (
 	// for diagnosis but excluded from busy time and the communication
 	// fraction — the same wall time is already counted as computation.
 	PhaseCommHidden
+	// PhaseKernelParallel is the busy (CPU) time the shared worker pool
+	// spent in force-kernel sweeps dispatched by a rank. It is counted
+	// in busy time in place of the rank-side wall time of those sweeps:
+	// with W workers the same work occupies ~1/W the wall clock, and
+	// charging the dispatch wait instead would shrink busy time and
+	// inflate the communication fraction as the compute side speeds up.
+	PhaseKernelParallel
 	PhaseUpdate
 	PhaseOther
 	numPhases
@@ -46,6 +53,8 @@ func (p Phase) String() string {
 		return "mpi"
 	case PhaseCommHidden:
 		return "mpi_hidden"
+	case PhaseKernelParallel:
+		return "kernel_parallel"
 	case PhaseUpdate:
 		return "update"
 	case PhaseOther:
@@ -126,6 +135,27 @@ type Report struct {
 	TotalFlops int64
 	// SustainedFlops is TotalFlops / WallTime in flop/s.
 	SustainedFlops float64
+	// Workers and WorkerBusy describe the shared kernel worker pool of
+	// a hybrid run: pool size and per-worker busy time (len equals
+	// Workers). Filled by the pool's owner after Aggregate — the
+	// profilers only carry per-rank attribution (kernel_parallel).
+	Workers    int
+	WorkerBusy []time.Duration
+}
+
+// WorkerUtilization returns the mean busy fraction of the pool workers
+// over the run's wall time (0 when no pool info was recorded). Low
+// utilization at high worker counts means the ranks could not supply
+// chunks fast enough — the node-level strong-scaling limit.
+func (r Report) WorkerUtilization() float64 {
+	if r.Workers == 0 || r.WallTime <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, b := range r.WorkerBusy {
+		busy += b
+	}
+	return float64(busy) / (float64(r.Workers) * float64(r.WallTime))
 }
 
 // TotalCommTime returns the full virtual network time, exposed plus

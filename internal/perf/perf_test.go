@@ -126,14 +126,48 @@ func TestHiddenCommExcludedFromBusy(t *testing.T) {
 	}
 }
 
+// The pool's kernel CPU time must count as busy time (it replaces the
+// rank-side wall time of dispatched sweeps), keeping the communication
+// fraction honest when parallel kernels shrink the wall clock.
+func TestKernelParallelCountsAsBusy(t *testing.T) {
+	p := NewProfiler(0)
+	p.total = 50 * time.Millisecond
+	p.phases[PhaseKernelParallel] = 80 * time.Millisecond // 2 workers ~ 40ms wall
+	p.phases[PhaseComm] = 20 * time.Millisecond
+	r := Aggregate([]*Profiler{p})
+	if r.BusyTime != 100*time.Millisecond {
+		t.Errorf("busy %v, want kernel_parallel included", r.BusyTime)
+	}
+	wantFrac := 0.2
+	if d := r.CommFraction - wantFrac; d > 1e-12 || d < -1e-12 {
+		t.Errorf("comm fraction %v want %v", r.CommFraction, wantFrac)
+	}
+}
+
+// Worker utilization: busy time over workers x wall time.
+func TestWorkerUtilization(t *testing.T) {
+	p := NewProfiler(0)
+	p.total = 100 * time.Millisecond
+	r := Aggregate([]*Profiler{p})
+	if r.WorkerUtilization() != 0 {
+		t.Error("utilization without pool info")
+	}
+	r.Workers = 2
+	r.WorkerBusy = []time.Duration{80 * time.Millisecond, 40 * time.Millisecond}
+	if u := r.WorkerUtilization(); u < 0.599 || u > 0.601 {
+		t.Errorf("utilization %v want 0.6", u)
+	}
+}
+
 func TestPhaseNames(t *testing.T) {
 	names := map[Phase]string{
-		PhaseForceSolid: "force_solid",
-		PhaseForceFluid: "force_fluid",
-		PhaseComm:       "mpi",
-		PhaseCommHidden: "mpi_hidden",
-		PhaseUpdate:     "update",
-		PhaseOther:      "other",
+		PhaseForceSolid:     "force_solid",
+		PhaseForceFluid:     "force_fluid",
+		PhaseComm:           "mpi",
+		PhaseCommHidden:     "mpi_hidden",
+		PhaseKernelParallel: "kernel_parallel",
+		PhaseUpdate:         "update",
+		PhaseOther:          "other",
 	}
 	for ph, want := range names {
 		if ph.String() != want {

@@ -2,7 +2,6 @@ package solver
 
 import (
 	"specglobe/internal/mesh"
-	"specglobe/internal/simd"
 )
 
 // The fluid outer core uses the scalar potential formulation of
@@ -20,29 +19,35 @@ import (
 // dominant routines of section 4.3: same cutplane structure, one scalar
 // field instead of three components.
 //
-// elems restricts the sweep to a sub-list of element indices (the
-// outer/inner split of the overlap schedule); nil means every element.
-func (rs *rankState) computeFluidForces(elems []int32) {
+// classes is the color-partitioned element sub-list (see
+// computeSolidForces): colors run serially, chunks within a color run
+// on the worker pool and write disjoint chiDdot entries.
+func (rs *rankState) computeFluidForces(classes [][]int32) {
 	fl := rs.fluid
 	if fl == nil {
 		return
 	}
-	reg := fl.reg
-	k := rs.kern
-	numE := reg.NSpec
-	if elems != nil {
-		numE = len(elems)
+	numE := 0
+	for _, class := range classes {
+		numE += len(class)
+		rs.pool.sweepElems(rs.scr, class, &rs.forceBusy, func(ks *kernelScratch, elems []int32) {
+			rs.fluidForcesChunk(ks, elems)
+		})
 	}
+	rs.prof.AddFlops(rs.fc.FluidElement * int64(numE))
+}
 
-	var chi [simd.PadLen]float32
-	var t1, t2, t3 [simd.PadLen]float32
-	var s1, s2, s3 [simd.PadLen]float32
+// fluidForcesChunk processes one conflict-free chunk of fluid elements,
+// reusing the x-component scratch blocks for the scalar potential.
+func (rs *rankState) fluidForcesChunk(ks *kernelScratch, elems []int32) {
+	fl := rs.fluid
+	reg := fl.reg
+	k := ks.k
+	chi, t1, t2, t3 := &ks.ux, &ks.t1x, &ks.t2x, &ks.t3x
+	s1, s2, s3 := &ks.s1x, &ks.s2x, &ks.s3x
 
-	for ei := 0; ei < numE; ei++ {
-		e := ei
-		if elems != nil {
-			e = int(elems[ei])
-		}
+	for _, e32 := range elems {
+		e := int(e32)
 		base := e * mesh.NGLL3
 		ib := reg.Ibool[base : base+mesh.NGLL3]
 		for p, g := range ib {
@@ -71,7 +76,6 @@ func (rs *rankState) computeFluidForces(elems []int32) {
 			fl.chiDdot[g] -= k.fac1[p]*t1[p] + k.fac2[p]*t2[p] + k.fac3[p]*t3[p]
 		}
 	}
-	rs.prof.AddFlops(rs.fc.FluidElement * int64(numE))
 }
 
 // addSolidDisplacementToFluid applies the fluid-side coupling term:

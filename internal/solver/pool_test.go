@@ -1,0 +1,131 @@
+package solver
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Every element of a sweep must be visited exactly once, regardless of
+// how the chunks land on the workers.
+func TestSweepElemsCoversExactlyOnce(t *testing.T) {
+	p := newPool(4, KernelVec4)
+	defer p.close()
+	const n = 1000
+	elems := make([]int32, n)
+	for i := range elems {
+		elems[i] = int32(i)
+	}
+	counts := make([]int32, n)
+	var busy int64
+	scr := newKernelScratch(KernelVec4)
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, chunk []int32) {
+		if ks == nil {
+			t.Error("nil scratch")
+		}
+		for _, e := range chunk {
+			atomic.AddInt32(&counts[e], 1)
+		}
+	})
+	for e, c := range counts {
+		if c != 1 {
+			t.Fatalf("element %d visited %d times", e, c)
+		}
+	}
+	if busy <= 0 {
+		t.Error("no busy time attributed")
+	}
+}
+
+// Range sweeps must cover [0,n) exactly once.
+func TestSweepRangeCoversExactlyOnce(t *testing.T) {
+	p := newPool(3, KernelVec4)
+	defer p.close()
+	const n = 10000
+	counts := make([]int32, n)
+	var busy int64
+	scr := newKernelScratch(KernelVec4)
+	p.sweepRange(scr, n, &busy, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+// Sweeps too small to dispatch run inline on the caller's scratch.
+func TestSmallSweepRunsInline(t *testing.T) {
+	p := newPool(4, KernelVec4)
+	defer p.close()
+	scr := newKernelScratch(KernelVec4)
+	var busy int64
+	var got *kernelScratch
+	p.sweepElems(scr, []int32{0, 1, 2}, &busy, func(ks *kernelScratch, chunk []int32) {
+		got = ks
+	})
+	if got != scr {
+		t.Error("tiny sweep did not use the caller's scratch")
+	}
+	if busy <= 0 {
+		t.Error("inline sweep not attributed")
+	}
+}
+
+// A panic in a chunk must re-raise on the submitting goroutine (where
+// the mpi runtime's recover/poison path can handle it) instead of
+// killing the process from a worker.
+func TestSweepPanicPropagates(t *testing.T) {
+	p := newPool(2, KernelVec4)
+	defer p.close()
+	scr := newKernelScratch(KernelVec4)
+	elems := make([]int32, 100)
+	for i := range elems {
+		elems[i] = int32(i)
+	}
+	var busy int64
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, chunk []int32) {
+		panic("boom")
+	})
+	t.Fatal("sweep returned after panic")
+}
+
+// After close, per-worker busy time must account the dispatched work.
+func TestPoolBusyAccounting(t *testing.T) {
+	p := newPool(2, KernelVec4)
+	scr := newKernelScratch(KernelVec4)
+	elems := make([]int32, 64)
+	for i := range elems {
+		elems[i] = int32(i)
+	}
+	var busy int64
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, chunk []int32) {
+		s := float32(0)
+		for i := 0; i < 10000; i++ {
+			s += float32(i)
+		}
+		ks.ux[0] = s
+	})
+	p.close()
+	workers := p.Busy()
+	if len(workers) != 2 {
+		t.Fatalf("%d busy slots, want 2", len(workers))
+	}
+	var total int64
+	for _, b := range workers {
+		total += int64(b)
+	}
+	if total <= 0 {
+		t.Error("workers recorded no busy time")
+	}
+	if busy < total {
+		t.Errorf("rank attribution %d below worker total %d", busy, total)
+	}
+}

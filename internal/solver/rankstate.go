@@ -3,6 +3,8 @@ package solver
 import (
 	"math"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"specglobe/internal/earthmodel"
 	"specglobe/internal/mesh"
@@ -57,6 +59,13 @@ type recvLocal struct {
 	out  *Seismogram
 }
 
+// sweepClasses holds the precomputed color classes of each element
+// sub-list a schedule iterates: the full region, and the outer/inner
+// halves of the overlap split (nil when the overlap schedule is off).
+type sweepClasses struct {
+	full, outer, inner [][]int32
+}
+
 // rankState is all per-rank solver state.
 type rankState struct {
 	rank  int
@@ -68,6 +77,19 @@ type rankState struct {
 	prof  *perf.Profiler
 	kern  *kernels
 	fc    perf.FlopCounts
+
+	// pool is the process-wide worker pool shared by every rank; scr is
+	// this rank's scratch for sweeps too small to dispatch.
+	pool *pool
+	scr  *kernelScratch
+	// colors is the conflict-free element coloring; sweeps holds the
+	// color classes per region for each schedule's sub-lists.
+	colors *mesh.Coloring
+	sweeps [3]sweepClasses
+	// forceBusy/updateBusy accumulate the worker-pool busy nanoseconds
+	// attributed to this rank's kernel and update sweeps (atomic; added
+	// to the kernel_parallel and update phases when the run ends).
+	forceBusy, updateBusy int64
 
 	// overlap is true when the solver runs the outer/inner schedule;
 	// ov then holds the element classification (nil otherwise).
@@ -89,7 +111,7 @@ type rankState struct {
 }
 
 func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
-	fit *earthmodel.SLSFit, grav *earthmodel.GravityProfile) *rankState {
+	fit *earthmodel.SLSFit, grav *earthmodel.GravityProfile, p *pool) *rankState {
 
 	rank := c.Rank()
 	rs := &rankState{
@@ -102,10 +124,26 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 		prof:  perf.NewProfiler(rank),
 		kern:  newKernels(opts.Kernel),
 		fc:    perf.DefaultFlopCounts(),
+		pool:  p,
 	}
+	rs.scr = &kernelScratch{k: rs.kern}
 	if opts.Overlap == OverlapOn {
 		rs.overlap = true
 		rs.ov = mesh.BuildOverlap(rs.local, rs.plan)
+	}
+	// Color the elements and precompute the classes each schedule
+	// sweeps, so the hot loop only walks prebuilt lists.
+	rs.colors = mesh.BuildColoring(rs.local)
+	for kind := 0; kind < 3; kind++ {
+		reg := rs.local.Regions[kind]
+		if reg == nil || reg.NSpec == 0 {
+			continue
+		}
+		rs.sweeps[kind].full = rs.colors.Classes(kind, nil)
+		if rs.overlap {
+			rs.sweeps[kind].outer = rs.colors.Classes(kind, rs.ov.Outer[kind])
+			rs.sweeps[kind].inner = rs.colors.Classes(kind, rs.ov.Inner[kind])
+		}
 	}
 
 	for kind := 0; kind < 3; kind++ {
@@ -428,6 +466,17 @@ func (rs *rankState) beginAssembleSolidCombined() *pendingExchange {
 		})
 	}
 	return p
+}
+
+// flushPoolTime charges the worker-pool busy time attributed to this
+// rank's sweeps to the perf phases: kernel CPU time to kernel_parallel,
+// pointwise-update CPU time to update. The rank-side *wall* time of a
+// dispatched sweep is deliberately not recorded — with W workers the
+// same work occupies ~1/W the wall clock, and charging the wait would
+// shrink busy time and inflate the communication fraction.
+func (rs *rankState) flushPoolTime() {
+	rs.prof.Add(perf.PhaseKernelParallel, time.Duration(atomic.LoadInt64(&rs.forceBusy)))
+	rs.prof.Add(perf.PhaseUpdate, time.Duration(atomic.LoadInt64(&rs.updateBusy)))
 }
 
 // maxDisplacement returns the largest absolute displacement component

@@ -12,50 +12,57 @@ import (
 // the 125-point block (section 4.3), followed by pointwise stress
 // evaluation and the weighted-transpose accumulation.
 //
-// elems restricts the sweep to a sub-list of element indices (the
-// outer/inner split of the overlap schedule); nil means every element.
-// Each element must be visited exactly once per step — the attenuation
-// memory variables advance when their element is processed.
+// classes is the color-partitioned element sub-list to sweep (the full
+// region, or the outer/inner half of the overlap schedule), as built by
+// mesh.Coloring.Classes. Colors run one after another with a barrier in
+// between; within a color no two elements share a global point, so the
+// chunks dispatched to the worker pool write disjoint acceleration
+// entries and the sweep is bit-identical at every worker count. Each
+// element is visited exactly once per step — the attenuation memory
+// variables advance when their element is processed.
 //
 // With attenuation enabled, the deviatoric stress is corrected by the
 // standard-linear-solid memory variables, which are then advanced one
 // step with their exponential recursion.
-func (rs *rankState) computeSolidForces(f *solidField, elems []int32) {
-	reg := f.reg
-	k := rs.kern
-	numE := reg.NSpec
-	if elems != nil {
-		numE = len(elems)
+func (rs *rankState) computeSolidForces(f *solidField, classes [][]int32) {
+	numE := 0
+	for _, class := range classes {
+		numE += len(class)
+		rs.pool.sweepElems(rs.scr, class, &rs.forceBusy, func(ks *kernelScratch, elems []int32) {
+			rs.solidForcesChunk(f, ks, elems)
+		})
 	}
+	flops := rs.fc.SolidElement * int64(numE)
+	if f.att != nil {
+		// Memory-variable work: per point, per mechanism, 6 components
+		// of subtract + 2-op recursion update, plus the deviator setup.
+		flops += int64(numE) * int64(mesh.NGLL3) * int64(f.att.nsls*6*3+8)
+	}
+	rs.prof.AddFlops(flops)
+}
 
-	// Element scratch blocks (padded to 128 floats as in section 4.3).
-	var ux, uy, uz [simd.PadLen]float32
-	var t1x, t2x, t3x [simd.PadLen]float32
-	var t1y, t2y, t3y [simd.PadLen]float32
-	var t1z, t2z, t3z [simd.PadLen]float32
-	var s1x, s2x, s3x [simd.PadLen]float32
-	var s1y, s2y, s3y [simd.PadLen]float32
-	var s1z, s2z, s3z [simd.PadLen]float32
+// solidForcesChunk processes one conflict-free chunk of elements on a
+// worker (or inline) scratch.
+func (rs *rankState) solidForcesChunk(f *solidField, ks *kernelScratch, elems []int32) {
+	reg := f.reg
+	k := ks.k
 
-	for ei := 0; ei < numE; ei++ {
-		e := ei
-		if elems != nil {
-			e = int(elems[ei])
-		}
+	for _, e32 := range elems {
+		e := int(e32)
 		base := e * mesh.NGLL3
 		ib := reg.Ibool[base : base+mesh.NGLL3]
 
 		// Gather element displacement.
 		for p, g := range ib {
-			ux[p] = f.dx[g]
-			uy[p] = f.dy[g]
-			uz[p] = f.dz[g]
+			ks.ux[p] = f.dx[g]
+			ks.uy[p] = f.dy[g]
+			ks.uz[p] = f.dz[g]
 		}
 
 		// Reference-space gradients of each displacement component.
-		k.grad(ux[:], t1x[:], t2x[:], t3x[:])
-		k.grad(uy[:], t1y[:], t2y[:], t3y[:])
-		k.grad(uz[:], t1z[:], t2z[:], t3z[:])
+		k.grad(ks.ux[:], ks.t1x[:], ks.t2x[:], ks.t3x[:])
+		k.grad(ks.uy[:], ks.t1y[:], ks.t2y[:], ks.t3y[:])
+		k.grad(ks.uz[:], ks.t1z[:], ks.t2z[:], ks.t3z[:])
 
 		var att *attState
 		var muFac float32 = 1
@@ -72,15 +79,15 @@ func (rs *rankState) computeSolidForces(f *solidField, elems []int32) {
 			etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
 			gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
 
-			duxdx := xix*t1x[p] + etx*t2x[p] + gmx*t3x[p]
-			duxdy := xiy*t1x[p] + ety*t2x[p] + gmy*t3x[p]
-			duxdz := xiz*t1x[p] + etz*t2x[p] + gmz*t3x[p]
-			duydx := xix*t1y[p] + etx*t2y[p] + gmx*t3y[p]
-			duydy := xiy*t1y[p] + ety*t2y[p] + gmy*t3y[p]
-			duydz := xiz*t1y[p] + etz*t2y[p] + gmz*t3y[p]
-			duzdx := xix*t1z[p] + etx*t2z[p] + gmx*t3z[p]
-			duzdy := xiy*t1z[p] + ety*t2z[p] + gmy*t3z[p]
-			duzdz := xiz*t1z[p] + etz*t2z[p] + gmz*t3z[p]
+			duxdx := xix*ks.t1x[p] + etx*ks.t2x[p] + gmx*ks.t3x[p]
+			duxdy := xiy*ks.t1x[p] + ety*ks.t2x[p] + gmy*ks.t3x[p]
+			duxdz := xiz*ks.t1x[p] + etz*ks.t2x[p] + gmz*ks.t3x[p]
+			duydx := xix*ks.t1y[p] + etx*ks.t2y[p] + gmx*ks.t3y[p]
+			duydy := xiy*ks.t1y[p] + ety*ks.t2y[p] + gmy*ks.t3y[p]
+			duydz := xiz*ks.t1y[p] + etz*ks.t2y[p] + gmz*ks.t3y[p]
+			duzdx := xix*ks.t1z[p] + etx*ks.t2z[p] + gmx*ks.t3z[p]
+			duzdy := xiy*ks.t1z[p] + ety*ks.t2z[p] + gmy*ks.t3z[p]
+			duzdz := xiz*ks.t1z[p] + etz*ks.t2z[p] + gmz*ks.t3z[p]
 
 			exy := 0.5 * (duxdy + duydx)
 			exz := 0.5 * (duxdz + duzdx)
@@ -125,41 +132,34 @@ func (rs *rankState) computeSolidForces(f *solidField, elems []int32) {
 			}
 
 			jac := reg.Jac[ip]
-			s1x[p] = jac * (sxx*xix + sxy*xiy + sxz*xiz)
-			s1y[p] = jac * (sxy*xix + syy*xiy + syz*xiz)
-			s1z[p] = jac * (sxz*xix + syz*xiy + szz*xiz)
-			s2x[p] = jac * (sxx*etx + sxy*ety + sxz*etz)
-			s2y[p] = jac * (sxy*etx + syy*ety + syz*etz)
-			s2z[p] = jac * (sxz*etx + syz*ety + szz*etz)
-			s3x[p] = jac * (sxx*gmx + sxy*gmy + sxz*gmz)
-			s3y[p] = jac * (sxy*gmx + syy*gmy + syz*gmz)
-			s3z[p] = jac * (sxz*gmx + syz*gmy + szz*gmz)
+			ks.s1x[p] = jac * (sxx*xix + sxy*xiy + sxz*xiz)
+			ks.s1y[p] = jac * (sxy*xix + syy*xiy + syz*xiz)
+			ks.s1z[p] = jac * (sxz*xix + syz*xiy + szz*xiz)
+			ks.s2x[p] = jac * (sxx*etx + sxy*ety + sxz*etz)
+			ks.s2y[p] = jac * (sxy*etx + syy*ety + syz*etz)
+			ks.s2z[p] = jac * (sxz*etx + syz*ety + szz*etz)
+			ks.s3x[p] = jac * (sxx*gmx + sxy*gmy + sxz*gmz)
+			ks.s3y[p] = jac * (sxy*gmx + syy*gmy + syz*gmz)
+			ks.s3z[p] = jac * (sxz*gmx + syz*gmy + szz*gmz)
 		}
 
 		// Weighted-transpose accumulation, reusing the t blocks.
-		k.gradT1(s1x[:], t1x[:])
-		k.gradT2(s2x[:], t2x[:])
-		k.gradT3(s3x[:], t3x[:])
-		k.gradT1(s1y[:], t1y[:])
-		k.gradT2(s2y[:], t2y[:])
-		k.gradT3(s3y[:], t3y[:])
-		k.gradT1(s1z[:], t1z[:])
-		k.gradT2(s2z[:], t2z[:])
-		k.gradT3(s3z[:], t3z[:])
+		k.gradT1(ks.s1x[:], ks.t1x[:])
+		k.gradT2(ks.s2x[:], ks.t2x[:])
+		k.gradT3(ks.s3x[:], ks.t3x[:])
+		k.gradT1(ks.s1y[:], ks.t1y[:])
+		k.gradT2(ks.s2y[:], ks.t2y[:])
+		k.gradT3(ks.s3y[:], ks.t3y[:])
+		k.gradT1(ks.s1z[:], ks.t1z[:])
+		k.gradT2(ks.s2z[:], ks.t2z[:])
+		k.gradT3(ks.s3z[:], ks.t3z[:])
 
 		for p, g := range ib {
-			f.ax[g] -= k.fac1[p]*t1x[p] + k.fac2[p]*t2x[p] + k.fac3[p]*t3x[p]
-			f.ay[g] -= k.fac1[p]*t1y[p] + k.fac2[p]*t2y[p] + k.fac3[p]*t3y[p]
-			f.az[g] -= k.fac1[p]*t1z[p] + k.fac2[p]*t2z[p] + k.fac3[p]*t3z[p]
+			f.ax[g] -= k.fac1[p]*ks.t1x[p] + k.fac2[p]*ks.t2x[p] + k.fac3[p]*ks.t3x[p]
+			f.ay[g] -= k.fac1[p]*ks.t1y[p] + k.fac2[p]*ks.t2y[p] + k.fac3[p]*ks.t3y[p]
+			f.az[g] -= k.fac1[p]*ks.t1z[p] + k.fac2[p]*ks.t2z[p] + k.fac3[p]*ks.t3z[p]
 		}
 	}
-	flops := rs.fc.SolidElement * int64(numE)
-	if f.att != nil {
-		// Memory-variable work: per point, per mechanism, 6 components
-		// of subtract + 2-op recursion update, plus the deviator setup.
-		flops += int64(numE) * int64(mesh.NGLL3) * int64(f.att.nsls*6*3+8)
-	}
-	rs.prof.AddFlops(flops)
 }
 
 // addFluidTractionToSolid applies the fluid pressure traction on the

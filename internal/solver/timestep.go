@@ -18,18 +18,25 @@ import (
 // Because the fluid acceleration is final before the solid uses it, the
 // fluid-solid coupling needs no iteration (section 1: "non-iterative
 // coupling between fluid and solid based on the displacement vector").
+//
+// The force kernels sweep their color classes on the shared worker
+// pool (colors serialize, chunks within a color are conflict-free),
+// and the pointwise predictor/mass-division/corrector loops dispatch
+// as index ranges — every point is written independently, so both are
+// bit-identical at any worker count. Coupling, source and ocean-load
+// terms touch few points and stay inline on the rank goroutine.
 func (rs *rankState) timeStep(step int) {
 	dt := float32(rs.dt)
 	half := dt / 2
 	halfSq := dt * dt / 2
 
 	// --- Predictor ------------------------------------------------------
-	rs.prof.Time(perf.PhaseUpdate, func() {
-		for _, f := range rs.solid {
-			if f == nil {
-				continue
-			}
-			for i := range f.dx {
+	for _, f := range rs.solid {
+		if f == nil {
+			continue
+		}
+		rs.pool.sweepRange(rs.scr, len(f.dx), &rs.updateBusy, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
 				f.dx[i] += dt*f.vx[i] + halfSq*f.ax[i]
 				f.dy[i] += dt*f.vy[i] + halfSq*f.ay[i]
 				f.dz[i] += dt*f.vz[i] + halfSq*f.az[i]
@@ -38,17 +45,19 @@ func (rs *rankState) timeStep(step int) {
 				f.vz[i] += half * f.az[i]
 				f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
 			}
-			rs.prof.AddFlops(rs.fc.PointUpdate * int64(len(f.dx)))
-		}
-		if fl := rs.fluid; fl != nil {
-			for i := range fl.chi {
+		})
+		rs.prof.AddFlops(rs.fc.PointUpdate * int64(len(f.dx)))
+	}
+	if fl := rs.fluid; fl != nil {
+		rs.pool.sweepRange(rs.scr, len(fl.chi), &rs.updateBusy, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
 				fl.chi[i] += dt*fl.chiDot[i] + halfSq*fl.chiDdot[i]
 				fl.chiDot[i] += half * fl.chiDdot[i]
 				fl.chiDdot[i] = 0
 			}
-			rs.prof.AddFlops(3 * int64(len(fl.chi)))
-		}
-	})
+		})
+		rs.prof.AddFlops(3 * int64(len(fl.chi)))
+	}
 
 	// --- Fluid stage ------------------------------------------------------
 	//
@@ -60,25 +69,21 @@ func (rs *rankState) timeStep(step int) {
 	// boundary points and therefore always run before the post.
 	if rs.fluid != nil {
 		oc := int(earthmodel.RegionOuterCore)
-		var fluidOuter, fluidInner []int32 // nil sub-lists mean "all"
+		first, second := rs.sweeps[oc].full, [][]int32(nil)
 		if rs.overlap {
-			fluidOuter, fluidInner = rs.ov.Outer[oc], rs.ov.Inner[oc]
+			first, second = rs.sweeps[oc].outer, rs.sweeps[oc].inner
 		}
+		rs.computeFluidForces(first)
 		rs.prof.Time(perf.PhaseForceFluid, func() {
-			rs.computeFluidForces(fluidOuter)
 			rs.addSolidDisplacementToFluid(rs.local.CMB)
 			rs.addSolidDisplacementToFluid(rs.local.ICB)
 		})
 		fluidHalo := rs.beginAssembleScalar(oc, rs.fluid.chiDdot)
-		if rs.overlap {
-			rs.prof.Time(perf.PhaseForceFluid, func() {
-				rs.computeFluidForces(fluidInner)
-			})
-		}
+		rs.computeFluidForces(second)
 		fluidHalo.finish()
-		rs.prof.Time(perf.PhaseUpdate, func() {
-			fl := rs.fluid
-			for i := range fl.chiDdot {
+		fl := rs.fluid
+		rs.pool.sweepRange(rs.scr, len(fl.chiDdot), &rs.updateBusy, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
 				fl.chiDdot[i] *= fl.massInv[i]
 			}
 		})
@@ -87,16 +92,17 @@ func (rs *rankState) timeStep(step int) {
 	}
 
 	// --- Solid stage ------------------------------------------------------
-	var outer, inner [3][]int32 // nil sub-lists mean "all elements"
-	if rs.overlap {
-		outer, inner = rs.ov.Outer, rs.ov.Inner
+	for kind, f := range rs.solid {
+		if f == nil {
+			continue
+		}
+		first := rs.sweeps[kind].full
+		if rs.overlap {
+			first = rs.sweeps[kind].outer
+		}
+		rs.computeSolidForces(f, first)
 	}
 	rs.prof.Time(perf.PhaseForceSolid, func() {
-		for kind, f := range rs.solid {
-			if f != nil {
-				rs.computeSolidForces(f, outer[kind])
-			}
-		}
 		rs.addFluidTractionToSolid(rs.local.CMB)
 		rs.addFluidTractionToSolid(rs.local.ICB)
 		rs.addSources(step)
@@ -119,28 +125,28 @@ func (rs *rankState) timeStep(step int) {
 	if rs.overlap {
 		// Inner elements touch no halo point: they compute while the
 		// boundary messages are in flight.
-		rs.prof.Time(perf.PhaseForceSolid, func() {
-			for kind, f := range rs.solid {
-				if f != nil {
-					rs.computeSolidForces(f, inner[kind])
-				}
+		for kind, f := range rs.solid {
+			if f != nil {
+				rs.computeSolidForces(f, rs.sweeps[kind].inner)
 			}
-		})
+		}
 	}
 	for _, p := range solidHalo {
 		p.finish()
 	}
 
-	rs.prof.Time(perf.PhaseUpdate, func() {
-		twoOmega := float32(0)
-		if rs.opts.Rotation {
-			twoOmega = float32(2 * rs.opts.RotationRate)
+	// Mass division plus the pointwise Coriolis and gravity corrections,
+	// fused into one range sweep per field.
+	twoOmega := float32(0)
+	if rs.opts.Rotation {
+		twoOmega = float32(2 * rs.opts.RotationRate)
+	}
+	for _, f := range rs.solid {
+		if f == nil {
+			continue
 		}
-		for _, f := range rs.solid {
-			if f == nil {
-				continue
-			}
-			for i := range f.ax {
+		rs.pool.sweepRange(rs.scr, len(f.ax), &rs.updateBusy, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
 				f.ax[i] *= f.massInv[i]
 				f.ay[i] *= f.massInv[i]
 				f.az[i] *= f.massInv[i]
@@ -149,7 +155,7 @@ func (rs *rankState) timeStep(step int) {
 			// The lumped-mass form is exact pointwise because both the
 			// force and the mass carry the same rho*JacW weights.
 			if twoOmega != 0 {
-				for i := range f.ax {
+				for i := lo; i < hi; i++ {
 					f.ax[i] += twoOmega * f.vy[i]
 					f.ay[i] -= twoOmega * f.vx[i]
 				}
@@ -158,7 +164,7 @@ func (rs *rankState) timeStep(step int) {
 			// linearized restoring tensor H = (g/r)(I - rhat rhat)
 			// + (dg/dr) rhat rhat applied to the displacement.
 			if f.gOverR != nil {
-				for i := range f.ax {
+				for i := lo; i < hi; i++ {
 					ur := f.dx[i]*f.rhatX[i] + f.dy[i]*f.rhatY[i] + f.dz[i]*f.rhatZ[i]
 					gr := f.gOverR[i]
 					dg := f.dgdr[i]
@@ -167,10 +173,12 @@ func (rs *rankState) timeStep(step int) {
 					f.az[i] -= gr*(f.dz[i]-ur*f.rhatZ[i]) + dg*ur*f.rhatZ[i]
 				}
 			}
-		}
-		// Ocean load: rescale the normal component of the free-surface
-		// acceleration by M/(M+Mw).
-		if rs.oceanFactor != nil {
+		})
+	}
+	// Ocean load: rescale the normal component of the free-surface
+	// acceleration by M/(M+Mw). Few points; inline.
+	if rs.oceanFactor != nil {
+		rs.prof.Time(perf.PhaseUpdate, func() {
 			cm := rs.solid[earthmodel.RegionCrustMantle]
 			sl := &rs.local.Surface
 			for i, pt := range sl.Pts {
@@ -180,25 +188,29 @@ func (rs *rankState) timeStep(step int) {
 				cm.ay[pt] -= scale * sl.Ny[i]
 				cm.az[pt] -= scale * sl.Nz[i]
 			}
-		}
+		})
+	}
 
-		// --- Corrector ---------------------------------------------------
-		for _, f := range rs.solid {
-			if f == nil {
-				continue
-			}
-			for i := range f.vx {
+	// --- Corrector ---------------------------------------------------
+	for _, f := range rs.solid {
+		if f == nil {
+			continue
+		}
+		rs.pool.sweepRange(rs.scr, len(f.vx), &rs.updateBusy, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
 				f.vx[i] += half * f.ax[i]
 				f.vy[i] += half * f.ay[i]
 				f.vz[i] += half * f.az[i]
 			}
-		}
-		if fl := rs.fluid; fl != nil {
-			for i := range fl.chiDot {
+		})
+	}
+	if fl := rs.fluid; fl != nil {
+		rs.pool.sweepRange(rs.scr, len(fl.chiDot), &rs.updateBusy, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
 				fl.chiDot[i] += half * fl.chiDdot[i]
 			}
-		}
-	})
+		})
+	}
 
 	// --- Recording --------------------------------------------------------
 	if (step+1)%rs.opts.RecordEvery == 0 {
