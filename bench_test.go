@@ -19,6 +19,7 @@ import (
 
 	"specglobe/internal/earthmodel"
 	"specglobe/internal/experiments"
+	"specglobe/internal/mesh"
 	"specglobe/internal/meshfem"
 	"specglobe/internal/meshio"
 	"specglobe/internal/perfmodel"
@@ -326,19 +327,19 @@ func BenchmarkHybridWorkers(b *testing.B) {
 // data point for the hybrid worker pool (serial vs Workers=4 steps/sec
 // on the BenchmarkHybridWorkers configuration).
 type benchSnapshot struct {
-	PR        int    `json:"pr"`
-	Benchmark string `json:"benchmark"`
-	Date      string `json:"date"`
-	GoMaxProcs int   `json:"gomaxprocs"`
-	Nex       int    `json:"nex"`
-	Ranks     int    `json:"ranks"`
-	Steps     int    `json:"steps"`
+	PR                  int     `json:"pr"`
+	Benchmark           string  `json:"benchmark"`
+	Date                string  `json:"date"`
+	GoMaxProcs          int     `json:"gomaxprocs"`
+	Nex                 int     `json:"nex"`
+	Ranks               int     `json:"ranks"`
+	Steps               int     `json:"steps"`
 	SerialStepsPerSec   float64 `json:"serial_steps_per_sec"`
 	Workers4StepsPerSec float64 `json:"workers4_steps_per_sec"`
 	Speedup             float64 `json:"speedup"`
 	SerialExposedFrac   float64 `json:"serial_exposed_comm_frac"`
 	Workers4ExposedFrac float64 `json:"workers4_exposed_comm_frac"`
-	Note string `json:"note"`
+	Note                string  `json:"note"`
 }
 
 // TestWriteBenchSnapshot regenerates BENCH_PR2.json. It only runs when
@@ -387,6 +388,122 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	}
 	t.Logf("serial %.2f steps/s, workers=4 %.2f steps/s (%.2fx) on GOMAXPROCS=%d",
 		s1, s4, s4/s1, runtime.GOMAXPROCS(0))
+}
+
+// doublingRadii is the MESHDBL configuration: mid-mantle and outer-core
+// doublings for the homogeneous Earth-like model.
+var doublingRadii = []float64{5200e3, 3000e3}
+
+func buildBenchGlobeDoubled(b testing.TB, nex, nproc int, doublings []float64) *meshfem.Globe {
+	b.Helper()
+	g, err := meshfem.Build(meshfem.Config{
+		NexXi: nex, NProcXi: nproc, Model: earthLike(), Doublings: doublings,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkDoubling reproduces the MESHDBL ablation at benchmark level:
+// the same surface resolution meshed uniformly vs with mesh-doubling
+// layers. The doubled mesh must carry fewer elements and fewer halo
+// points; the metrics report the halo surface-to-volume ratio and the
+// exposed comm fraction next to the steps/sec the smaller mesh buys.
+func BenchmarkDoubling(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		doublings []float64
+	}{{"uniform", nil}, {"doubled", doublingRadii}} {
+		b.Run(mode.name, func(b *testing.B) {
+			g := buildBenchGlobeDoubled(b, 8, 1, mode.doublings)
+			hs := mesh.ComputeHaloStats(g.Locals, g.Plans)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				const steps = 3
+				res := runSteps(b, g, solver.Options{Steps: steps})
+				b.ReportMetric(steps/res.Perf.WallTime.Seconds(), "steps/sec")
+				b.ReportMetric(float64(hs.Elements), "elements")
+				b.ReportMetric(hs.SurfacePerVolume, "halo-pts/elem")
+				b.ReportMetric(100*res.Perf.CommFraction, "exposed-comm-%")
+			}
+		})
+	}
+}
+
+// benchPR3Snapshot is the schema of BENCH_PR3.json: the perf-trajectory
+// data point for mesh doubling (uniform vs doubled globe on the
+// BenchmarkDoubling configuration).
+type benchPR3Snapshot struct {
+	PR         int       `json:"pr"`
+	Benchmark  string    `json:"benchmark"`
+	Date       string    `json:"date"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Nex        int       `json:"nex"`
+	Ranks      int       `json:"ranks"`
+	Steps      int       `json:"steps"`
+	Doublings  []float64 `json:"doubling_radii_m"`
+
+	UniformElements    int     `json:"uniform_elements"`
+	DoubledElements    int     `json:"doubled_elements"`
+	UniformHaloPoints  int     `json:"uniform_halo_points"`
+	DoubledHaloPoints  int     `json:"doubled_halo_points"`
+	UniformHaloSV      float64 `json:"uniform_halo_pts_per_elem"`
+	DoubledHaloSV      float64 `json:"doubled_halo_pts_per_elem"`
+	UniformStepsPerSec float64 `json:"uniform_steps_per_sec"`
+	DoubledStepsPerSec float64 `json:"doubled_steps_per_sec"`
+	Speedup            float64 `json:"speedup"`
+	UniformExposedFrac float64 `json:"uniform_exposed_comm_frac"`
+	DoubledExposedFrac float64 `json:"doubled_exposed_comm_frac"`
+	Note               string  `json:"note"`
+}
+
+// TestWriteBenchPR3 regenerates BENCH_PR3.json. It only runs when
+// BENCH_SNAPSHOT=1 is set (it measures wall time, which is meaningless
+// on a loaded CI runner):
+//
+//	BENCH_SNAPSHOT=1 go test -run TestWriteBenchPR3 .
+func TestWriteBenchPR3(t *testing.T) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		t.Skip("set BENCH_SNAPSHOT=1 to rewrite BENCH_PR3.json")
+	}
+	const nex, steps, reps = 8, 10, 3
+	measure := func(doublings []float64) (elems, halo int, sv, stepsPerSec, frac float64) {
+		g := buildBenchGlobeDoubled(t, nex, 1, doublings)
+		hs := mesh.ComputeHaloStats(g.Locals, g.Plans)
+		for r := 0; r < reps; r++ { // best-of to shed scheduler noise
+			res := runSteps(t, g, solver.Options{Steps: steps})
+			if sps := steps / res.Perf.WallTime.Seconds(); sps > stepsPerSec {
+				stepsPerSec = sps
+				frac = res.Perf.CommFraction
+			}
+		}
+		return hs.Elements, hs.HaloPoints, hs.SurfacePerVolume, stepsPerSec, frac
+	}
+	ue, uh, usv, us, uf := measure(nil)
+	de, dh, dsv, ds, df := measure(doublingRadii)
+	snap := benchPR3Snapshot{
+		PR: 3, Benchmark: "BenchmarkDoubling",
+		Date: time.Now().UTC().Format("2006-01-02"), GoMaxProcs: runtime.GOMAXPROCS(0),
+		Nex: nex, Ranks: 6, Steps: steps, Doublings: doublingRadii,
+		UniformElements: ue, DoubledElements: de,
+		UniformHaloPoints: uh, DoubledHaloPoints: dh,
+		UniformHaloSV: usv, DoubledHaloSV: dsv,
+		UniformStepsPerSec: us, DoubledStepsPerSec: ds, Speedup: ds / us,
+		UniformExposedFrac: uf, DoubledExposedFrac: df,
+		Note: "doubling cuts elements and halo points at equal surface resolution; " +
+			"halo pts/elem drops on the 6-rank chunk decomposition (cube + chunk seams " +
+			"coarsen quadratically), and steps/sec rises with the smaller mesh",
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR3.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("uniform %d elems %.2f steps/s; doubled %d elems %.2f steps/s (%.2fx)",
+		ue, us, de, ds, ds/us)
 }
 
 // BenchmarkCommFraction measures the section 5 headline quantity.

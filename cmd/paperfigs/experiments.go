@@ -74,7 +74,17 @@ func experimentList() []experiment {
 					nproc = []int{1}
 					steps = 4
 				}
-				return experiments.Overlap(nex, nproc, steps)
+				r, err := experiments.Overlap(nex, nproc, steps)
+				if err != nil {
+					return nil, err
+				}
+				// Per-machine extrapolation: the same schedule under each
+				// catalog interconnect.
+				m, err := experiments.OverlapMachines(nex[0], nproc[0], steps)
+				if err != nil {
+					return nil, err
+				}
+				return stringerFunc(r.String() + m.String()), nil
 			},
 		},
 		{
@@ -87,6 +97,21 @@ func experimentList() []experiment {
 					workers = []int{1, 2, 4}
 				}
 				return experiments.Hybrid(nex, nproc, workers, steps)
+			},
+		},
+		{
+			id: "MESHDBL", desc: "mesh doubling layers: element count, halo S/V, exposed comm",
+			run: func(quick bool) (fmt.Stringer, error) {
+				// Doubling radii sit in the mid-mantle and outer core of
+				// the homogeneous Earth-like test model.
+				doublings := []float64{5200e3, 3000e3}
+				configs := [][2]int{{8, 1}, {16, 2}}
+				steps := 8
+				if quick {
+					configs = [][2]int{{8, 1}}
+					steps = 4
+				}
+				return experiments.MeshDoubling(configs, doublings, steps)
 			},
 		},
 		{

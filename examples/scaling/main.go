@@ -28,16 +28,26 @@ func main() {
 	model.CMBRadius = 3480e3
 
 	const steps = 25
-	fmt.Printf("scaling sweep (%d steps); paper comm fractions: 1.9%%-4.2%%\n\n", steps)
-	fmt.Printf("%6s %6s %6s %10s %12s %12s %10s %10s\n",
-		"NEX", "NPROC", "ranks", "elem/rank", "wall", "msgs", "MB sent", "comm frac")
+	fmt.Printf("scaling sweep (%d steps); paper comm fractions: 1.9%%-4.2%%\n", steps)
+	fmt.Println("halo S/V = halo boundary points per element, mean over ranks (the")
+	fmt.Println("surface-to-volume ratio mesh doubling changes; dbl rows coarsen the")
+	fmt.Println("mesh 2x below 5200 km, and also below 3000 km where the slicing allows)")
+	fmt.Println()
+	fmt.Printf("%6s %6s %6s %10s %9s %12s %12s %10s %10s\n",
+		"NEX", "NPROC", "ranks", "elem/rank", "halo S/V", "wall", "msgs", "MB sent", "comm frac")
 
 	var samples []perfmodel.CommSample
-	for _, sweep := range []struct{ nex, nproc int }{
-		{4, 1}, {4, 2}, {8, 1}, {8, 2},
+	for _, sweep := range []struct {
+		nex, nproc int
+		doublings  []float64
+	}{
+		{4, 1, nil}, {4, 2, nil}, {8, 1, nil}, {8, 2, nil},
+		{8, 1, []float64{5200e3, 3000e3}}, {8, 2, []float64{5200e3}},
 	} {
 		nex, nproc := sweep.nex, sweep.nproc
-		g, err := meshfem.Build(meshfem.Config{NexXi: nex, NProcXi: nproc, Model: model})
+		g, err := meshfem.Build(meshfem.Config{
+			NexXi: nex, NProcXi: nproc, Model: model, Doublings: sweep.doublings,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,14 +72,24 @@ func main() {
 		}
 		wall := time.Since(t0)
 		stats := mesh.ComputeLoadStats(g.Locals)
-		fmt.Printf("%6d %6d %6d %10.0f %12v %12d %10.1f %9.2f%%\n",
-			nex, nproc, len(g.Locals), stats.MeanElems, wall.Round(time.Millisecond),
+		halo := mesh.ComputeHaloStats(g.Locals, g.Plans)
+		label := fmt.Sprintf("%6d", nex)
+		if len(sweep.doublings) > 0 {
+			label = fmt.Sprintf("%3ddbl", nex)
+		}
+		fmt.Printf("%s %6d %6d %10.0f %9.2f %12v %12d %10.1f %9.2f%%\n",
+			label, nproc, len(g.Locals), stats.MeanElems, halo.MeanRankSV,
+			wall.Round(time.Millisecond),
 			res.MPI.Messages, float64(res.MPI.BytesSent)/1e6,
 			100*res.Perf.CommFraction)
-		samples = append(samples, perfmodel.CommSample{
-			P: len(g.Locals), Res: float64(nex),
-			TotalComm: res.Perf.TotalCommTime().Seconds(),
-		})
+		if len(sweep.doublings) == 0 {
+			// The two-term model's res^2 halo scaling describes the
+			// uniform mesh; doubled rows are shown but not fitted.
+			samples = append(samples, perfmodel.CommSample{
+				P: len(g.Locals), Res: float64(nex),
+				TotalComm: res.Perf.TotalCommTime().Seconds(),
+			})
+		}
 	}
 
 	if cm, err := perfmodel.FitCommModel(samples); err == nil {

@@ -34,8 +34,27 @@ func NewDecomp(nexXi, nprocXi int) (Decomp, error) {
 // NumRanks returns the total number of ranks: 6 * NPROC_XI^2.
 func (d Decomp) NumRanks() int { return NumFaces * d.NProcXi * d.NProcXi }
 
-// NexPerSlice returns the number of elements per slice side.
-func (d Decomp) NexPerSlice() int { return d.NexXi / d.NProcXi }
+// NexPerSlice returns the number of elements per slice side at the
+// surface resolution.
+func (d Decomp) NexPerSlice() int { return d.NexPerSliceAt(d.NexXi) }
+
+// NexPerSliceAt returns the number of elements per slice side at a
+// depth whose chunk-side element count is nex (mesh doubling halves nex
+// with depth; nex must stay divisible by NProcXi, which the mesher
+// validates).
+func (d Decomp) NexPerSliceAt(nex int) int { return nex / d.NProcXi }
+
+// ElemRangeAt returns the [lo, hi) element index range along one chunk
+// axis covered by processor coordinate p at a depth with nex elements
+// per chunk side.
+func (d Decomp) ElemRangeAt(nex, p int) (lo, hi int) {
+	per := d.NexPerSliceAt(nex)
+	return p * per, (p + 1) * per
+}
+
+// SliceOfElemAt returns the processor coordinate owning element index e
+// along one chunk axis at a depth with nex elements per chunk side.
+func (d Decomp) SliceOfElemAt(nex, e int) int { return e / d.NexPerSliceAt(nex) }
 
 // Slice identifies one mesh slice: a chunk and its (xi, eta) processor
 // coordinates within the chunk.
@@ -61,25 +80,32 @@ func (d Decomp) SliceOf(rank int) Slice {
 
 // ElemRange returns the global element index range [lo, hi) along one
 // chunk axis covered by processor coordinate p.
-func (d Decomp) ElemRange(p int) (lo, hi int) {
-	per := d.NexPerSlice()
-	return p * per, (p + 1) * per
-}
+func (d Decomp) ElemRange(p int) (lo, hi int) { return d.ElemRangeAt(d.NexXi, p) }
 
 // SliceOfElem returns the processor coordinate owning global element
 // index e along one chunk axis.
-func (d Decomp) SliceOfElem(e int) int { return e / d.NexPerSlice() }
+func (d Decomp) SliceOfElem(e int) int { return d.SliceOfElemAt(d.NexXi, e) }
 
 // CentralCubeOwner maps a central-cube element (cube grid cell with
-// indices ci, cj, ck in [0, NexXi)) to the rank that owns it. Cube cells
-// are assigned to the chunk whose face their center is closest to
-// (dominant-axis sectoring) and, within the chunk, to the slice whose
-// (xi, eta) range contains the cell — so the cube's surface cells land
-// on the same ranks as the shell elements they touch, which keeps the
-// ICB coupling local, and interior cells spread over all six chunks
-// (the paper's "cutting the cube" load-balance treatment generalized).
+// indices ci, cj, ck in [0, NexXi)) to the rank that owns it at the
+// surface resolution. See CentralCubeOwnerAt.
 func (d Decomp) CentralCubeOwner(ci, cj, ck int) int {
-	g := TanGrid(d.NexXi)
+	return d.CentralCubeOwnerAt(d.NexXi, ci, cj, ck)
+}
+
+// CentralCubeOwnerAt maps a central-cube element (cube grid cell with
+// indices ci, cj, ck in [0, nex)) to the rank that owns it, for a cube
+// meshed with nex cells per side (the lateral resolution of the
+// innermost shell layer, coarser than NexXi when doubling layers are
+// active). Cube cells are assigned to the chunk whose face their center
+// is closest to (dominant-axis sectoring) and, within the chunk, to the
+// slice whose (xi, eta) range contains the cell — so the cube's surface
+// cells land on the same ranks as the shell elements they touch, which
+// keeps the ICB coupling local, and interior cells spread over all six
+// chunks (the paper's "cutting the cube" load-balance treatment
+// generalized).
+func (d Decomp) CentralCubeOwnerAt(nex, ci, cj, ck int) int {
+	g := TanGrid(nex)
 	c := Vec3{
 		0.5 * (g[ci] + g[ci+1]),
 		0.5 * (g[cj] + g[cj+1]),
@@ -103,7 +129,7 @@ func (d Decomp) CentralCubeOwner(ci, cj, ck int) int {
 	default: // FaceNZ
 		ia, ib = cj, ci
 	}
-	return d.RankOf(Slice{Chunk: f, PXi: d.SliceOfElem(ia), PEta: d.SliceOfElem(ib)})
+	return d.RankOf(Slice{Chunk: f, PXi: d.SliceOfElemAt(nex, ia), PEta: d.SliceOfElemAt(nex, ib)})
 }
 
 // cubeSectorFace classifies a cube cell center into a dominant-axis

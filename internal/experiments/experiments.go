@@ -149,12 +149,24 @@ type Fig6Row struct {
 	ModelComm float64
 }
 
+// Fig6Machine is the fitted model rescaled to one machine of the
+// catalog (bandwidth scales the halo-bytes term, latency the message
+// term) and evaluated at the paper's two anchor scales.
+type Fig6Machine struct {
+	Name             string
+	LatencyUS        float64
+	LinkBWGBs        float64
+	Pred12K, Pred62K float64 // seconds per core
+}
+
 // Fig6Result reproduces figure 6.
 type Fig6Result struct {
 	Rows []Fig6Row
 	Fit  *perfmodel.CommModel
 	// Paper's model predictions for comparison.
 	Pred12K, Pred62K float64 // seconds per core at the paper's scales
+	// PerMachine extrapolates the fit to each catalog interconnect.
+	PerMachine []Fig6Machine
 }
 
 // Fig6 sweeps NPROC_XI at fixed resolutions, measures total MPI time in
@@ -204,6 +216,14 @@ func Fig6(nexList []int, nprocList []int, steps int) (*Fig6Result, error) {
 	}
 	out.Pred12K = fit.PerCoreComm(12150, 1440)
 	out.Pred62K = fit.PerCoreComm(62000, 4848)
+	for _, m := range perfmodel.Catalog() {
+		mf := fit.ForMachine(m)
+		out.PerMachine = append(out.PerMachine, Fig6Machine{
+			Name: m.Name, LatencyUS: m.LatencyUS, LinkBWGBs: m.LinkBWGBs,
+			Pred12K: mf.PerCoreComm(12150, 1440),
+			Pred62K: mf.PerCoreComm(62000, 4848),
+		})
+	}
 	return out, nil
 }
 
@@ -219,6 +239,13 @@ func (r *Fig6Result) String() string {
 	fmt.Fprintf(&b, "  extrapolated per-core comm: %.3g s at 12K cores/res1440, %.3g s at 62K/res4848\n",
 		r.Pred12K, r.Pred62K)
 	fmt.Fprintf(&b, "  paper's model: 599 s/core (3.2%% of runtime) and 28K s/core (4.7%%)\n")
+	if len(r.PerMachine) > 0 {
+		fmt.Fprintf(&b, "  per machine (latency scales the P term, bandwidth the res^2*sqrt(P) term):\n")
+		for _, m := range r.PerMachine {
+			fmt.Fprintf(&b, "    %-9s %4.1fus %5.2fGB/s  %.3g s/core at 12K, %.3g s/core at 62K\n",
+				m.Name, m.LatencyUS, m.LinkBWGBs, m.Pred12K, m.Pred62K)
+		}
+	}
 	return b.String()
 }
 

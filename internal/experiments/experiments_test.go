@@ -255,3 +255,96 @@ func TestLoadBalance(t *testing.T) {
 }
 
 func formatBytes(b float64) string { return perfmodel.HumanBytes(b) }
+
+// The MESHDBL ablation's acceptance claim: at equal surface resolution,
+// doubling reduces the total element count and the halo surface-to-
+// volume ratio on the chunk decomposition, with exposed comm measured
+// under both schedules.
+func TestMeshDoubling(t *testing.T) {
+	r, err := MeshDoubling([][2]int{{8, 1}}, []float64{5200e3, 3000e3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows %d, want 2 (uniform + doubled)", len(r.Rows))
+	}
+	uni, dbl := r.Rows[0], r.Rows[1]
+	if uni.Doubled || !dbl.Doubled {
+		t.Fatalf("row order: %v/%v", uni.Doubled, dbl.Doubled)
+	}
+	if dbl.Elements >= uni.Elements {
+		t.Errorf("doubling did not reduce elements: %d vs %d", dbl.Elements, uni.Elements)
+	}
+	if dbl.HaloPoints >= uni.HaloPoints {
+		t.Errorf("doubling did not reduce halo points: %d vs %d", dbl.HaloPoints, uni.HaloPoints)
+	}
+	if dbl.SurfacePerVolume >= uni.SurfacePerVolume {
+		t.Errorf("doubling did not reduce halo surface-to-volume: %.3f vs %.3f",
+			dbl.SurfacePerVolume, uni.SurfacePerVolume)
+	}
+	for _, row := range r.Rows {
+		if row.ExposedOn <= 0 || row.ExposedOff <= 0 {
+			t.Errorf("doubled=%v: no exposed comm measured", row.Doubled)
+		}
+		if row.ExposedOn >= row.ExposedOff {
+			t.Errorf("doubled=%v: overlap did not reduce exposed comm (%g vs %g)",
+				row.Doubled, row.ExposedOn, row.ExposedOff)
+		}
+	}
+	for _, want := range []string{"MESHDBL", "halo/elem", "doubling cuts elements"} {
+		if !strings.Contains(r.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// The per-machine overlap sweep must produce one row per catalog
+// machine, with slower links hiding and exposing more virtual time.
+func TestOverlapMachines(t *testing.T) {
+	r, err := OverlapMachines(4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := perfmodel.Catalog()
+	if len(r.Rows) != len(cat) {
+		t.Fatalf("rows %d, want %d", len(r.Rows), len(cat))
+	}
+	for _, row := range r.Rows {
+		if row.Exposed <= 0 && row.Hidden <= 0 {
+			t.Errorf("%s: no virtual comm accounted", row.Machine)
+		}
+	}
+}
+
+// Fig6 must extrapolate per machine: the slower-link Ranger fabric costs
+// more than the SeaStar2 baseline at the same scale.
+func TestFig6PerMachine(t *testing.T) {
+	r, err := Fig6([]int{4, 8}, []int{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerMachine) != len(perfmodel.Catalog()) {
+		t.Fatalf("per-machine rows %d", len(r.PerMachine))
+	}
+	var ranger, franklin *Fig6Machine
+	for i := range r.PerMachine {
+		switch r.PerMachine[i].Name {
+		case "Ranger":
+			ranger = &r.PerMachine[i]
+		case "Franklin":
+			franklin = &r.PerMachine[i]
+		}
+	}
+	if ranger == nil || franklin == nil {
+		t.Fatal("catalog machines missing from Fig6")
+	}
+	// Franklin runs the default SeaStar2 figures, so its rescaled model
+	// equals the baseline; Ranger's slower link must cost more.
+	if franklin.Pred62K != r.Pred62K {
+		t.Errorf("Franklin rescaling changed the baseline: %g vs %g", franklin.Pred62K, r.Pred62K)
+	}
+	if ranger.Pred62K <= franklin.Pred62K {
+		t.Errorf("Ranger (slower link) predicted cheaper than Franklin: %g vs %g",
+			ranger.Pred62K, franklin.Pred62K)
+	}
+}

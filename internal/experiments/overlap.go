@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"specglobe/internal/mesh"
+	"specglobe/internal/perfmodel"
 	"specglobe/internal/solver"
 )
 
@@ -88,6 +89,73 @@ func Overlap(nexList []int, nprocList []int, steps int) (*OverlapResult, error) 
 		}
 	}
 	return out, nil
+}
+
+// OverlapMachineRow is one catalog machine's live overlap measurement.
+type OverlapMachineRow struct {
+	Machine   string
+	LatencyUS float64
+	LinkBWGBs float64
+	// Exposed/Hidden virtual comm (summed over ranks, seconds) under
+	// the overlapped schedule, and the resulting comm fraction.
+	Exposed, Hidden float64
+	Frac            float64
+}
+
+// OverlapMachinesResult sweeps the machine catalog's interconnects.
+type OverlapMachinesResult struct {
+	P, Res, Steps int
+	Rows          []OverlapMachineRow
+}
+
+// OverlapMachines reruns the overlapped schedule at one configuration
+// with each catalog machine's virtual interconnect — the per-machine
+// extrapolation hook: a slower link leaves more transfer time to hide,
+// a faster one shrinks both exposed and hidden comm.
+func OverlapMachines(nex, nproc, steps int) (*OverlapMachinesResult, error) {
+	model := testEarth()
+	g, err := buildGlobe(nex, nproc, model)
+	if err != nil {
+		return nil, err
+	}
+	src, err := centralSource(g)
+	if err != nil {
+		return nil, err
+	}
+	out := &OverlapMachinesResult{P: g.Decomp.NumRanks(), Res: nex, Steps: steps}
+	for _, m := range perfmodel.Catalog() {
+		res, err := solver.Run(&solver.Simulation{
+			Locals: g.Locals, Plans: g.Plans, Model: model,
+			Sources: []solver.Source{src},
+			Opts: solver.Options{
+				Steps: steps, Overlap: solver.OverlapOn, Network: m.Net(),
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, OverlapMachineRow{
+			Machine: m.Name, LatencyUS: m.LatencyUS, LinkBWGBs: m.LinkBWGBs,
+			Exposed: res.MPI.Exposed().Seconds(),
+			Hidden:  res.MPI.HiddenCommTime.Seconds(),
+			Frac:    res.Perf.CommFraction,
+		})
+	}
+	return out, nil
+}
+
+// String renders the per-machine overlap table.
+func (r *OverlapMachinesResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OVERLAP/machines: overlapped schedule per catalog interconnect (P=%d, res=%d, %d steps)\n",
+		r.P, r.Res, r.Steps)
+	fmt.Fprintf(&b, "  %-9s %7s %8s %12s %12s %9s\n",
+		"machine", "lat", "bw", "exposed(s)", "hidden(s)", "frac")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-9s %5.1fus %5.2fGB/s %11.6fs %11.6fs %8.2f%%\n",
+			row.Machine, row.LatencyUS, row.LinkBWGBs, row.Exposed, row.Hidden, 100*row.Frac)
+	}
+	return b.String()
 }
 
 // String renders the overlap ablation table.

@@ -215,6 +215,49 @@ func BuildHalo(locals []*Local) ([]*HaloPlan, error) {
 	return plans, nil
 }
 
+// HaloStats summarizes the communication surface of a distributed mesh
+// against its computational volume — the ratio the overlap schedule's
+// hiding ability and the comm fraction both depend on, and the quantity
+// mesh doubling changes: coarsening deep layers removes halo surface
+// (boundary GLL points) and volume (elements) together.
+type HaloStats struct {
+	// Elements and TotalPoints are summed over ranks (interface copies
+	// counted once per owner, as stored).
+	Elements    int
+	TotalPoints int
+	// HaloPoints is the total number of shared point slots across all
+	// plans (one per region, peer and point) — the per-step assembly
+	// traffic in units of points.
+	HaloPoints int
+	// SurfacePerVolume is HaloPoints / Elements: halo surface per unit
+	// of computational work. MeanRankSV is the mean of the same ratio
+	// taken rank by rank.
+	SurfacePerVolume float64
+	MeanRankSV       float64
+}
+
+// ComputeHaloStats measures the halo surface-to-volume ratio of a
+// distributed mesh.
+func ComputeHaloStats(locals []*Local, plans []*HaloPlan) HaloStats {
+	var s HaloStats
+	meanSum := 0.0
+	for i, l := range locals {
+		e := l.TotalElements()
+		h := plans[i].BoundaryPoints()
+		s.Elements += e
+		s.TotalPoints += l.TotalPoints()
+		s.HaloPoints += h
+		if e > 0 {
+			meanSum += float64(h) / float64(e)
+		}
+	}
+	if s.Elements > 0 {
+		s.SurfacePerVolume = float64(s.HaloPoints) / float64(s.Elements)
+		s.MeanRankSV = meanSum / float64(len(locals))
+	}
+	return s
+}
+
 // LoadStats summarizes element counts across ranks, the load-balance
 // measure the paper's mesh design work optimizes.
 type LoadStats struct {

@@ -33,13 +33,55 @@ var gllW = func() [gll.NGLL]float64 {
 	return w
 }()
 
+// symW0 and symW1 are the endpoint weights of the index-based symmetric
+// interpolation symLerp. They are built so that symW0[i] == symW1[NGLL-1-i]
+// bit-for-bit, which makes symLerp direction-agnostic: an element that
+// traverses a shared edge from U to V and a neighbor that traverses it
+// from V to U produce bit-identical GLL points (the two products are the
+// same and float addition commutes). This is the property that lets the
+// doubling-template elements — whose shared edges are walked in opposite
+// directions by adjacent quads — participate in the exact-key global
+// numbering.
+var symW0, symW1 = func() (w0, w1 [gll.NGLL]float64) {
+	for i := 0; i < gll.NGLL; i++ {
+		w1[i] = gllS[i]
+		w0[i] = gllS[gll.NGLL-1-i]
+	}
+	return w0, w1
+}()
+
+// symLerp interpolates between u and v at GLL index i with the
+// symmetric weights. Equal endpoints return exactly that value (the
+// weights sum to 1 only approximately), so constant-coordinate edges —
+// e.g. the top of a doubling layer at fixed radius — stay bit-exact
+// against the uniform layer above. symLerp(u, v, i) ==
+// symLerp(v, u, NGLL-1-i) bit-for-bit, and the endpoints are exact:
+// symLerp(u, v, 0) == u, symLerp(u, v, NGLL-1) == v.
+func symLerp(u, v float64, i int) float64 {
+	if u == v {
+		return u
+	}
+	return u*symW0[i] + v*symW1[i]
+}
+
 // shellPoint returns the physical position of the GLL node with lerp
 // factors (sa, sb, sr) inside the shell element spanning tangent ranges
-// [a0,a1]x[b0,b1] and radii [r0,r1] on the given chunk.
+// [a0,a1]x[b0,b1] and radii [r0,r1] on the given chunk. Used for face
+// quadrature and diagnostics; indexed point generation goes through
+// shellPointIdx so the exact-key numbering sees symLerp arithmetic.
 func shellPoint(face cubedsphere.Face, a0, a1, b0, b1, r0, r1, sa, sb, sr float64) cubedsphere.Vec3 {
 	a := lerp(a0, a1, sa)
 	b := lerp(b0, b1, sb)
 	r := lerp(r0, r1, sr)
+	return cubedsphere.DirectionTan(face, a, b).Scale(r)
+}
+
+// shellPointIdx is shellPoint at GLL indices (ia, ib, ir) with the
+// symmetric interpolation that the global numbering requires.
+func shellPointIdx(face cubedsphere.Face, a0, a1, b0, b1, r0, r1 float64, ia, ib, ir int) cubedsphere.Vec3 {
+	a := symLerp(a0, a1, ia)
+	b := symLerp(b0, b1, ib)
+	r := symLerp(r0, r1, ir)
 	return cubedsphere.DirectionTan(face, a, b).Scale(r)
 }
 
@@ -112,14 +154,18 @@ func invert3x3(cols [3]cubedsphere.Vec3) (rows [3]cubedsphere.Vec3, det float64)
 	return rows, det
 }
 
-// elemGeom is a callback bundle describing one element's mapping.
+// elemGeom is a callback bundle describing one element's mapping. The
+// point callback takes GLL indices, not lerp factors: coincident points
+// of adjacent elements must flow through identical (or symmetric, see
+// symLerp) arithmetic, and only the index identifies which symmetric
+// weight pair applies.
 type elemGeom struct {
-	point    func(sa, sb, sr float64) cubedsphere.Vec3
-	jacobian func(sa, sb, sr float64) [3]cubedsphere.Vec3
-	// radiusAt returns the material-evaluation radius for a radial lerp
-	// factor, clamped inside the element so discontinuity-adjacent
-	// elements sample their own side.
-	radiusAt func(sr float64) float64
+	point    func(ia, ib, ir int) cubedsphere.Vec3
+	jacobian func(ia, ib, ir int) [3]cubedsphere.Vec3
+	// radiusAt returns the material-evaluation radius for a radial GLL
+	// index, clamped inside the element so discontinuity-adjacent
+	// elements sample their own side. nil samples the point radius.
+	radiusAt func(ir int) float64
 }
 
 // fillElement writes geometry (positions, inverse mapping, JacW) for
@@ -129,9 +175,9 @@ func fillElement(r *mesh.Region, pi *mesh.PointIndexer, e int, g elemGeom) {
 		for j := 0; j < mesh.NGLL; j++ {
 			for i := 0; i < mesh.NGLL; i++ {
 				ip := mesh.Idx(e, i, j, k)
-				p := g.point(gllS[i], gllS[j], gllS[k])
+				p := g.point(i, j, k)
 				r.Ibool[ip] = pi.Index(p[0], p[1], p[2])
-				cols := g.jacobian(gllS[i], gllS[j], gllS[k])
+				cols := g.jacobian(i, j, k)
 				rows, det := invert3x3(cols)
 				if det <= 0 {
 					// Meshing bug; fail loudly with context.
@@ -181,4 +227,158 @@ func faceQuad(face cubedsphere.Face, a0, a1, b0, b1, r0, r1, sr float64) (normal
 // mesher self-checks.
 func sphericalShellVolume(r0, r1 float64) float64 {
 	return 4.0 / 3.0 * math.Pi * (r1*r1*r1 - r0*r0*r0)
+}
+
+// --- Doubling-brick geometry ----------------------------------------------
+//
+// A doubling layer halves the lateral element count in one angular
+// direction: its top grid is fine (n cells per chunk side), its bottom
+// grid coarse (n/2 cells). The transition tiles the (tangent, radius)
+// plane with a repeating 6-quad template spanning 4 fine cells (= 2
+// coarse cells) laterally — the minimal repeat that admits an all-quad
+// conforming mesh (a 2-fine-to-1-coarse strip has an odd boundary edge
+// count, so no such mesh exists; 4-to-2 has an even one). The template
+// (fine cell units laterally, layer thickness 1 radially, A = (1, 1/2),
+// B = (2, 3/4), C = (3, 1/2) the interior nodes):
+//
+//	r1  +----+----+----+----+   quads: 1 (0,0) A (1,1) (0,1)
+//	    | 1  | 3  | 5  | 6  |          2 (0,0) (2,0) B A
+//	    |   A____B____C    |           3 A B (2,1) (1,1)
+//	    |  /    2 | 4   \  |           4 (2,0) (4,0) C B
+//	r0  +---------+--------+           5 B C (3,1) (2,1)
+//	        coarse   coarse            6 C (4,0) (4,1) (3,1)
+//
+// All six quads are convex (verified by the positive-Jacobian check in
+// fillElement at build time), every interior edge is shared by exactly
+// two quads, the four top edges are the fine grid edges and the two
+// bottom edges the coarse ones — the mesh is conforming by construction,
+// and symLerp arithmetic makes the shared points exact-key identical.
+// Doubling both angular directions stacks two such layers: the upper
+// halves xi (template extruded along eta), the lower halves eta.
+
+// dblInteriorLow and dblInteriorHigh parameterize the template's
+// interior nodes: A/C sit at dblInteriorLow of the layer height, B at
+// dblInteriorHigh. Convexity of quads 2/4 requires
+// dblInteriorHigh < 2*dblInteriorLow.
+const (
+	dblInteriorLow  = 0.5  // radial fraction of nodes A and C
+	dblInteriorHigh = 0.75 // radial fraction of node B
+)
+
+// quad2 is one bilinear quad of the doubling template in the (lateral
+// tangent, radius) plane. Corners are indexed [s][t]: s is the lateral-
+// ish reference direction, t the radial-ish one, and the corner cycle
+// (P00, P10, P11, P01) runs counterclockwise with +lateral right and
+// +radius up, so the 2D Jacobian is positive.
+type quad2 struct {
+	a, r [2][2]float64 // corner coordinates, indexed [s][t]
+}
+
+// at evaluates the bilinear map at GLL indices (is, it) through nested
+// symLerp, so every edge of the quad reduces to the canonical symmetric
+// interpolation of its two corners (see symLerp).
+func (q *quad2) at(is, it int) (a, r float64) {
+	a = symLerp(symLerp(q.a[0][0], q.a[1][0], is), symLerp(q.a[0][1], q.a[1][1], is), it)
+	r = symLerp(symLerp(q.r[0][0], q.r[1][0], is), symLerp(q.r[0][1], q.r[1][1], is), it)
+	return a, r
+}
+
+// deriv returns the partial derivatives of (a, r) with respect to the
+// (s, t) lerp factors at (s, t); used for Jacobians only, so plain
+// bilinear derivatives suffice.
+func (q *quad2) deriv(s, t float64) (as, at, rs, rt float64) {
+	as = (q.a[1][0]-q.a[0][0])*(1-t) + (q.a[1][1]-q.a[0][1])*t
+	at = (q.a[0][1]-q.a[0][0])*(1-s) + (q.a[1][1]-q.a[1][0])*s
+	rs = (q.r[1][0]-q.r[0][0])*(1-t) + (q.r[1][1]-q.r[0][1])*t
+	rt = (q.r[0][1]-q.r[0][0])*(1-s) + (q.r[1][1]-q.r[1][0])*s
+	return
+}
+
+// dblTemplate builds the six quads of one doubling-template copy. fine
+// holds the five consecutive fine-grid tangent values the copy spans
+// (fine[0] and fine[4] are also coarse-grid values), r0/r1 the layer's
+// bottom/top radii.
+func dblTemplate(fine [5]float64, r0, r1 float64) [6]quad2 {
+	rA := lerp(r0, r1, dblInteriorLow)
+	rB := lerp(r0, r1, dblInteriorHigh)
+	// Corners listed counterclockwise as (P00, P10, P11, P01).
+	mk := func(c0, c1, c2, c3 [2]float64) quad2 {
+		var q quad2
+		q.a[0][0], q.r[0][0] = c0[0], c0[1]
+		q.a[1][0], q.r[1][0] = c1[0], c1[1]
+		q.a[1][1], q.r[1][1] = c2[0], c2[1]
+		q.a[0][1], q.r[0][1] = c3[0], c3[1]
+		return q
+	}
+	f := fine
+	return [6]quad2{
+		mk([2]float64{f[0], r0}, [2]float64{f[1], rA}, [2]float64{f[1], r1}, [2]float64{f[0], r1}),
+		mk([2]float64{f[0], r0}, [2]float64{f[2], r0}, [2]float64{f[2], rB}, [2]float64{f[1], rA}),
+		mk([2]float64{f[1], rA}, [2]float64{f[2], rB}, [2]float64{f[2], r1}, [2]float64{f[1], r1}),
+		mk([2]float64{f[2], r0}, [2]float64{f[4], r0}, [2]float64{f[3], rA}, [2]float64{f[2], rB}),
+		mk([2]float64{f[2], rB}, [2]float64{f[3], rA}, [2]float64{f[3], r1}, [2]float64{f[2], r1}),
+		mk([2]float64{f[3], rA}, [2]float64{f[4], r0}, [2]float64{f[4], r1}, [2]float64{f[3], r1}),
+	}
+}
+
+// dblGeomXi is the element geometry of one xi-doubling hex: the quad
+// drives (a, r) from the (first, third) reference directions and the
+// element extrudes over the eta interval [b0, b1].
+func dblGeomXi(face cubedsphere.Face, q quad2, b0, b1 float64) elemGeom {
+	return elemGeom{
+		point: func(ia, ib, ir int) cubedsphere.Vec3 {
+			a, r := q.at(ia, ir)
+			b := symLerp(b0, b1, ib)
+			return cubedsphere.DirectionTan(face, a, b).Scale(r)
+		},
+		jacobian: func(ia, ib, ir int) [3]cubedsphere.Vec3 {
+			s, t := gllS[ia], gllS[ir]
+			a, r := q.at(ia, ir)
+			b := symLerp(b0, b1, ib)
+			as, at, rs, rt := q.deriv(s, t)
+			dda, ddb, dir := tanDerivs(face, a, b)
+			return [3]cubedsphere.Vec3{
+				dda.Scale(as * r).Add(dir.Scale(rs)).Scale(0.5),
+				ddb.Scale((b1 - b0) * r / 2),
+				dda.Scale(at * r).Add(dir.Scale(rt)).Scale(0.5),
+			}
+		},
+	}
+}
+
+// dblGeomEta is the element geometry of one eta-doubling hex: the quad
+// drives (b, r) from the (second, third) reference directions and the
+// element extrudes over the xi interval [a0, a1].
+func dblGeomEta(face cubedsphere.Face, q quad2, a0, a1 float64) elemGeom {
+	return elemGeom{
+		point: func(ia, ib, ir int) cubedsphere.Vec3 {
+			b, r := q.at(ib, ir)
+			a := symLerp(a0, a1, ia)
+			return cubedsphere.DirectionTan(face, a, b).Scale(r)
+		},
+		jacobian: func(ia, ib, ir int) [3]cubedsphere.Vec3 {
+			s, t := gllS[ib], gllS[ir]
+			b, r := q.at(ib, ir)
+			a := symLerp(a0, a1, ia)
+			bs, bt, rs, rt := q.deriv(s, t)
+			dda, ddb, dir := tanDerivs(face, a, b)
+			return [3]cubedsphere.Vec3{
+				dda.Scale((a1 - a0) * r / 2),
+				ddb.Scale(bs * r).Add(dir.Scale(rs)).Scale(0.5),
+				ddb.Scale(bt * r).Add(dir.Scale(rt)).Scale(0.5),
+			}
+		},
+	}
+}
+
+// tanDerivs returns the gnomonic-direction partials d(dir)/da, d(dir)/db
+// and the direction itself at tangent coordinates (a, b).
+func tanDerivs(face cubedsphere.Face, a, b float64) (dda, ddb, dir cubedsphere.Vec3) {
+	n, u, v := face.Triad()
+	d := n.Add(u.Scale(a)).Add(v.Scale(b))
+	L := d.Norm()
+	dir = d.Scale(1 / L)
+	dda = u.Sub(dir.Scale(dir.Dot(u))).Scale(1 / L)
+	ddb = v.Sub(dir.Scale(dir.Dot(v))).Scale(1 / L)
+	return dda, ddb, dir
 }

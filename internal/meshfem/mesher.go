@@ -1,10 +1,11 @@
 // Package meshfem is the globe mesher (the MESHFEM3D part of the
 // package): it builds the cubed-sphere spectral-element mesh of the
 // whole Earth — crust/mantle, fluid outer core, inner-core shell and
-// inflated central cube — distributed over 6*NPROC_XI^2 mesh slices,
-// assigns material properties from a radial Earth model, and derives
-// the fluid-solid coupling faces, free-surface load data and halo
-// communication plans the solver needs.
+// inflated central cube, with optional depth-graded lateral resolution
+// through conforming mesh-doubling layers — distributed over
+// 6*NPROC_XI^2 mesh slices, assigns material properties from a radial
+// Earth model, and derives the fluid-solid coupling faces, free-surface
+// load data and halo communication plans the solver needs.
 package meshfem
 
 import (
@@ -30,6 +31,16 @@ type Config struct {
 	// CubeFrac sets the central-cube radius as a fraction of the
 	// innermost region's top radius. Zero selects the default 0.5.
 	CubeFrac float64
+	// Doublings lists the radii (meters) at which the mesher inserts a
+	// mesh-doubling transition: below each listed radius the lateral
+	// element count per chunk side halves (2:1 coarsening in both
+	// angular directions, via a pair of conforming doubling layers), so
+	// elements keep roughly constant aspect ratio with depth. Radii must
+	// fall strictly inside a region, away from the CMB/ICB/cube
+	// boundaries. At each doubling the fine per-slice element count
+	// (nex/2^level / NProcXi) must be divisible by 4 — the lateral span
+	// of one doubling template. Empty means a single angular resolution.
+	Doublings []float64
 	// TwoPassMaterials reproduces the legacy behavior the paper's
 	// section 4.4 removed: the mesher runs twice, once to generate the
 	// geometry and a second time to populate material properties.
@@ -50,14 +61,32 @@ type Globe struct {
 	// two-pass material mode).
 	BuildPasses int
 
-	specs   []regionSpec
-	tan     []float64 // tangent grid, shared by chunks and cube
-	rcc     float64   // central cube radius (0 if no cube region)
+	specs []regionSpec
+	// layerBase[si][l] is the element index of spec si's layer l within
+	// a rank's region (identical across ranks: every slice owns the same
+	// shell layer structure); layerCount[si][l] the per-rank element
+	// count of that layer.
+	layerBase, layerCount [][]int
+	// grids caches the tangent-space node grid per lateral resolution
+	// level (chunks and central cube share them).
+	grids   map[int][]float64
+	rcc     float64 // central cube radius (0 if no cube region)
+	cubeNex int     // cube cells per side (lateral count at the cube surface)
 	cubeReg earthmodel.Region
 	// cubeCells[rank] lists the cube cells owned by the rank in the
 	// order they were appended to its innermost region.
 	cubeCells [][][3]int
 	cubeBase  []int // element index of the first cube cell per rank
+}
+
+// grid returns (and caches) the tangent grid for a lateral level.
+func (g *Globe) grid(nex int) []float64 {
+	if t, ok := g.grids[nex]; ok {
+		return t
+	}
+	t := cubedsphere.TanGrid(nex)
+	g.grids[nex] = t
+	return t
 }
 
 // Build runs the mesher and returns the distributed mesh.
@@ -75,30 +104,44 @@ func Build(cfg Config) (*Globe, error) {
 	if cfg.CubeFrac < 0.1 || cfg.CubeFrac > 0.9 {
 		return nil, fmt.Errorf("meshfem: CubeFrac %g outside [0.1, 0.9]", cfg.CubeFrac)
 	}
+	doublings, err := validateDoublings(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Doublings = doublings
 
+	specs, err := planRegions(cfg.Model, cfg.NexXi, cfg.CubeFrac, doublings)
+	if err != nil {
+		return nil, err
+	}
 	g := &Globe{
 		Cfg:    cfg,
 		Decomp: dec,
-		specs:  planRegions(cfg.Model, cfg.NexXi, cfg.CubeFrac),
-		tan:    cubedsphere.TanGrid(cfg.NexXi),
+		specs:  specs,
+		grids:  map[int][]float64{},
 	}
 	for _, sp := range g.specs {
 		if sp.withCube {
 			g.rcc = sp.rBot
 			g.cubeReg = sp.kind
+			g.cubeNex = sp.nexBot()
 		}
 	}
-	g.ShortestPeriod = estimatedShortestPeriod(cfg.Model, g.specs, cfg.NexXi)
+	if err := g.indexLayers(); err != nil {
+		return nil, err
+	}
+	g.ShortestPeriod = estimatedShortestPeriod(cfg.Model, g.specs)
 
-	// Pre-assign central cube cells to ranks.
+	// Pre-assign central cube cells to ranks at the cube's (possibly
+	// doubled-down) resolution.
 	nR := dec.NumRanks()
 	g.cubeCells = make([][][3]int, nR)
 	g.cubeBase = make([]int, nR)
 	if g.rcc > 0 {
-		for ci := 0; ci < cfg.NexXi; ci++ {
-			for cj := 0; cj < cfg.NexXi; cj++ {
-				for ck := 0; ck < cfg.NexXi; ck++ {
-					r := dec.CentralCubeOwner(ci, cj, ck)
+		for ci := 0; ci < g.cubeNex; ci++ {
+			for cj := 0; cj < g.cubeNex; cj++ {
+				for ck := 0; ck < g.cubeNex; ck++ {
+					r := dec.CentralCubeOwnerAt(g.cubeNex, ci, cj, ck)
 					g.cubeCells[r] = append(g.cubeCells[r], [3]int{ci, cj, ck})
 				}
 			}
@@ -136,36 +179,143 @@ func Build(cfg Config) (*Globe, error) {
 	return g, nil
 }
 
-// sliceRange returns the [lo, hi) element index ranges of a rank's slice
-// along xi and eta.
-func (g *Globe) sliceRange(rank int) (s cubedsphere.Slice, ilo, ihi, jlo, jhi int) {
+// validateDoublings sorts the configured doubling radii descending and
+// checks that each falls strictly inside a region (a radius on or below
+// a region boundary — CMB, ICB, cube surface — would be dropped by the
+// per-region planner or halve the wrong side) and that the conforming
+// templates' divisibility constraints hold at every level.
+func validateDoublings(cfg Config) ([]float64, error) {
+	if len(cfg.Doublings) == 0 {
+		return nil, nil
+	}
+	doublings := append([]float64(nil), cfg.Doublings...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(doublings)))
+	// Region boundaries, mirroring planRegions.
+	surf := cfg.Model.SurfaceRadius()
+	icb, cmb := cfg.Model.ICB(), cfg.Model.CMB()
+	bounds := []float64{surf, cmb, icb, cfg.CubeFrac * icb}
+	if !(icb > 0 && cmb > icb) {
+		bounds = []float64{surf, cfg.CubeFrac * surf * 0.3}
+	}
+	inRegion := func(d float64) bool {
+		for i := 0; i+1 < len(bounds); i++ {
+			if d < bounds[i] && d > bounds[i+1] {
+				return true
+			}
+		}
+		return false
+	}
+	nex := cfg.NexXi
+	for i, d := range doublings {
+		if i > 0 && d == doublings[i-1] {
+			return nil, fmt.Errorf("meshfem: duplicate doubling radius %g", d)
+		}
+		if !inRegion(d) {
+			return nil, fmt.Errorf(
+				"meshfem: doubling radius %g is not strictly inside a region (boundaries %v)",
+				d, bounds)
+		}
+		per := nex / cfg.NProcXi
+		if per%4 != 0 {
+			return nil, fmt.Errorf(
+				"meshfem: doubling at %g needs the per-slice element count %d (nex %d / NPROC_XI %d) divisible by 4",
+				d, per, nex, cfg.NProcXi)
+		}
+		nex /= 2
+		if nex%2 != 0 {
+			return nil, fmt.Errorf("meshfem: doubling at %g leaves odd chunk-side count %d", d, nex)
+		}
+	}
+	return doublings, nil
+}
+
+// indexLayers precomputes per-layer element bases and counts (identical
+// across ranks) and validates region-boundary resolutions.
+func (g *Globe) indexLayers() error {
+	np := g.Cfg.NProcXi
+	g.layerBase = make([][]int, len(g.specs))
+	g.layerCount = make([][]int, len(g.specs))
+	for si := range g.specs {
+		sp := &g.specs[si]
+		base := 0
+		for _, l := range sp.layers {
+			count := 0
+			switch l.kind {
+			case layerUniform:
+				count = (l.nexXi / np) * (l.nexEta / np)
+			case layerDoubleXi:
+				count = (l.nexXi / np / 4) * 6 * (l.nexEta / np)
+			case layerDoubleEta:
+				count = (l.nexXi / np) * (l.nexEta / np / 4) * 6
+			}
+			g.layerBase[si] = append(g.layerBase[si], base)
+			g.layerCount[si] = append(g.layerCount[si], count)
+			base += count
+		}
+		// Adjacent layers must agree on the grid at their interface.
+		for li := 0; li+1 < len(sp.layers); li++ {
+			lo, hi := sp.layers[li], sp.layers[li+1]
+			if lo.nexXi != hi.botXi() || lo.nexEta != hi.botEta() {
+				return fmt.Errorf("meshfem: region %v layer %d/%d lateral counts mismatch (%dx%d vs %dx%d)",
+					sp.kind, li, li+1, lo.nexXi, lo.nexEta, hi.botXi(), hi.botEta())
+			}
+		}
+	}
+	// Region boundaries must match across regions (CMB, ICB) and the
+	// cube surface; the global doubling schedule guarantees this, so a
+	// failure here is a planner bug.
+	for si := 0; si+1 < len(g.specs); si++ {
+		upper, lower := &g.specs[si], &g.specs[si+1]
+		if upper.nexBot() != lower.nexTop() {
+			return fmt.Errorf("meshfem: regions %v/%v meet at %g with lateral counts %d vs %d",
+				upper.kind, lower.kind, upper.rBot, upper.nexBot(), lower.nexTop())
+		}
+	}
+	return nil
+}
+
+// sliceRangeAt returns the [lo, hi) element index ranges of a rank's
+// slice along xi and eta at the given lateral resolutions.
+func (g *Globe) sliceRangeAt(rank, nexXi, nexEta int) (s cubedsphere.Slice, ilo, ihi, jlo, jhi int) {
 	s = g.Decomp.SliceOf(rank)
-	ilo, ihi = g.Decomp.ElemRange(s.PXi)
-	jlo, jhi = g.Decomp.ElemRange(s.PEta)
+	ilo, ihi = g.Decomp.ElemRangeAt(nexXi, s.PXi)
+	jlo, jhi = g.Decomp.ElemRangeAt(nexEta, s.PEta)
 	return s, ilo, ihi, jlo, jhi
 }
 
-// shellElemIndex returns the local element index of shell element
-// (i, j, layer) within a rank's region, matching the append order of
+// uniformElemIndex returns the local element index of shell element
+// (i, j) in uniform layer li of spec si, matching the append order of
 // buildRank (layer-major, then eta, then xi).
-func (g *Globe) shellElemIndex(rank int, i, j, layer int) int {
-	_, ilo, _, jlo, jhi := g.sliceRange(rank)
-	per := g.Decomp.NexPerSlice()
-	_ = jhi
-	return (layer*per+(j-jlo))*per + (i - ilo)
+func (g *Globe) uniformElemIndex(si, li, rank, i, j int) int {
+	l := g.specs[si].layers[li]
+	_, ilo, _, jlo, _ := g.sliceRangeAt(rank, l.nexXi, l.nexEta)
+	perXi := g.Decomp.NexPerSliceAt(l.nexXi)
+	return g.layerBase[si][li] + (j-jlo)*perXi + (i - ilo)
+}
+
+// specOf returns the spec index for a region kind (-1 if absent).
+func (g *Globe) specOf(kind earthmodel.Region) int {
+	for si := range g.specs {
+		if g.specs[si].kind == kind {
+			return si
+		}
+	}
+	return -1
 }
 
 // buildRank constructs the full local mesh for one rank.
 func (g *Globe) buildRank(rank int) (*mesh.Local, error) {
-	s, ilo, ihi, jlo, jhi := g.sliceRange(rank)
 	local := &mesh.Local{Rank: rank}
 	for kind := 0; kind < 3; kind++ {
 		local.Regions[kind] = mesh.NewRegion(earthmodel.Region(kind), 0)
 	}
 
-	for _, sp := range g.specs {
-		nLayers := len(sp.radialNodes) - 1
-		nShell := (ihi - ilo) * (jhi - jlo) * nLayers
+	for si := range g.specs {
+		sp := &g.specs[si]
+		nShell := 0
+		for _, c := range g.layerCount[si] {
+			nShell += c
+		}
 		nCube := 0
 		if sp.withCube {
 			nCube = len(g.cubeCells[rank])
@@ -174,13 +324,18 @@ func (g *Globe) buildRank(rank int) (*mesh.Local, error) {
 		reg := mesh.NewRegion(sp.kind, nShell+nCube)
 		pi := mesh.NewPointIndexer()
 		e := 0
-		for l := 0; l < nLayers; l++ {
-			r0, r1 := sp.radialNodes[l], sp.radialNodes[l+1]
-			for j := jlo; j < jhi; j++ {
-				for i := ilo; i < ihi; i++ {
-					g.fillShellElement(reg, pi, e, s.Chunk, i, j, r0, r1)
-					e++
-				}
+		for li, l := range sp.layers {
+			if e != g.layerBase[si][li] {
+				return nil, fmt.Errorf("meshfem: rank %d region %v layer %d: element base drift %d != %d",
+					rank, sp.kind, li, e, g.layerBase[si][li])
+			}
+			switch l.kind {
+			case layerUniform:
+				e = g.fillUniformLayer(reg, pi, e, rank, l)
+			case layerDoubleXi:
+				e = g.fillDoubleXiLayer(reg, pi, e, rank, l)
+			case layerDoubleEta:
+				e = g.fillDoubleEtaLayer(reg, pi, e, rank, l)
 			}
 		}
 		if sp.withCube {
@@ -203,19 +358,73 @@ func (g *Globe) buildRank(rank int) (*mesh.Local, error) {
 	return local, nil
 }
 
+// fillUniformLayer appends one uniform layer's elements (eta-major, then
+// xi) and returns the next element index.
+func (g *Globe) fillUniformLayer(reg *mesh.Region, pi *mesh.PointIndexer, e, rank int, l layerSpec) int {
+	s, ilo, ihi, jlo, jhi := g.sliceRangeAt(rank, l.nexXi, l.nexEta)
+	gx, gy := g.grid(l.nexXi), g.grid(l.nexEta)
+	for j := jlo; j < jhi; j++ {
+		for i := ilo; i < ihi; i++ {
+			g.fillShellElement(reg, pi, e, s.Chunk, gx[i], gx[i+1], gy[j], gy[j+1], l.r0, l.r1)
+			e++
+		}
+	}
+	return e
+}
+
+// fillDoubleXiLayer appends one xi-doubling layer: per fine eta row, one
+// 6-element template copy per 4 fine xi columns (eta-major, then copy,
+// then template quad).
+func (g *Globe) fillDoubleXiLayer(reg *mesh.Region, pi *mesh.PointIndexer, e, rank int, l layerSpec) int {
+	s, ilo, ihi, jlo, jhi := g.sliceRangeAt(rank, l.nexXi, l.nexEta)
+	gx, gy := g.grid(l.nexXi), g.grid(l.nexEta)
+	for j := jlo; j < jhi; j++ {
+		for f0 := ilo; f0 < ihi; f0 += 4 {
+			var fine [5]float64
+			copy(fine[:], gx[f0:f0+5])
+			for _, q := range dblTemplate(fine, l.r0, l.r1) {
+				geom := dblGeomXi(s.Chunk, q, gy[j], gy[j+1])
+				fillElement(reg, pi, e, geom)
+				g.assignMaterial(reg, e, geom)
+				e++
+			}
+		}
+	}
+	return e
+}
+
+// fillDoubleEtaLayer appends one eta-doubling layer: one 6-element
+// template copy per 4 fine eta rows, extruded across the (already
+// coarse) xi columns (copy-major, then template quad, then xi).
+func (g *Globe) fillDoubleEtaLayer(reg *mesh.Region, pi *mesh.PointIndexer, e, rank int, l layerSpec) int {
+	s, ilo, ihi, jlo, jhi := g.sliceRangeAt(rank, l.nexXi, l.nexEta)
+	gx, gy := g.grid(l.nexXi), g.grid(l.nexEta)
+	for f0 := jlo; f0 < jhi; f0 += 4 {
+		var fine [5]float64
+		copy(fine[:], gy[f0:f0+5])
+		for _, q := range dblTemplate(fine, l.r0, l.r1) {
+			for i := ilo; i < ihi; i++ {
+				geom := dblGeomEta(s.Chunk, q, gx[i], gx[i+1])
+				fillElement(reg, pi, e, geom)
+				g.assignMaterial(reg, e, geom)
+				e++
+			}
+		}
+	}
+	return e
+}
+
 // fillShellElement fills geometry and material of one shell element.
-func (g *Globe) fillShellElement(reg *mesh.Region, pi *mesh.PointIndexer, e int, face cubedsphere.Face, i, j int, r0, r1 float64) {
-	a0, a1 := g.tan[i], g.tan[i+1]
-	b0, b1 := g.tan[j], g.tan[j+1]
+func (g *Globe) fillShellElement(reg *mesh.Region, pi *mesh.PointIndexer, e int, face cubedsphere.Face, a0, a1, b0, b1, r0, r1 float64) {
 	geom := elemGeom{
-		point: func(sa, sb, sr float64) cubedsphere.Vec3 {
-			return shellPoint(face, a0, a1, b0, b1, r0, r1, sa, sb, sr)
+		point: func(ia, ib, ir int) cubedsphere.Vec3 {
+			return shellPointIdx(face, a0, a1, b0, b1, r0, r1, ia, ib, ir)
 		},
-		jacobian: func(sa, sb, sr float64) [3]cubedsphere.Vec3 {
-			return shellJacobian(face, a0, a1, b0, b1, r0, r1, sa, sb, sr)
+		jacobian: func(ia, ib, ir int) [3]cubedsphere.Vec3 {
+			return shellJacobian(face, a0, a1, b0, b1, r0, r1, gllS[ia], gllS[ib], gllS[ir])
 		},
-		radiusAt: func(sr float64) float64 {
-			return lerp(r0, r1, clamp(sr, 1e-3, 1-1e-3))
+		radiusAt: func(ir int) float64 {
+			return lerp(r0, r1, clamp(gllS[ir], 1e-3, 1-1e-3))
 		},
 	}
 	fillElement(reg, pi, e, geom)
@@ -224,16 +433,18 @@ func (g *Globe) fillShellElement(reg *mesh.Region, pi *mesh.PointIndexer, e int,
 
 // fillCubeElement fills geometry and material of one central-cube cell.
 func (g *Globe) fillCubeElement(reg *mesh.Region, pi *mesh.PointIndexer, e int, cell [3]int) {
-	a0, a1 := g.tan[cell[0]], g.tan[cell[0]+1]
-	b0, b1 := g.tan[cell[1]], g.tan[cell[1]+1]
-	c0, c1 := g.tan[cell[2]], g.tan[cell[2]+1]
+	ct := g.grid(g.cubeNex)
+	a0, a1 := ct[cell[0]], ct[cell[0]+1]
+	b0, b1 := ct[cell[1]], ct[cell[1]+1]
+	c0, c1 := ct[cell[2]], ct[cell[2]+1]
 	rcc := g.rcc
 	geom := elemGeom{
-		point: func(sa, sb, sc float64) cubedsphere.Vec3 {
-			return cubePoint(a0, a1, b0, b1, c0, c1, rcc, sa, sb, sc)
+		point: func(ia, ib, ic int) cubedsphere.Vec3 {
+			q := cubedsphere.Vec3{symLerp(a0, a1, ia), symLerp(b0, b1, ib), symLerp(c0, c1, ic)}
+			return cubedsphere.CubePoint(q, rcc)
 		},
-		jacobian: func(sa, sb, sc float64) [3]cubedsphere.Vec3 {
-			return cubeJacobian(a0, a1, b0, b1, c0, c1, rcc, sa, sb, sc)
+		jacobian: func(ia, ib, ic int) [3]cubedsphere.Vec3 {
+			return cubeJacobian(a0, a1, b0, b1, c0, c1, rcc, gllS[ia], gllS[ib], gllS[ic])
 		},
 		radiusAt: nil, // cube material sampled at the point radius
 	}
@@ -253,9 +464,9 @@ func (g *Globe) assignMaterial(reg *mesh.Region, e int, geom elemGeom) {
 				ip := mesh.Idx(e, i, j, k)
 				var r float64
 				if geom.radiusAt != nil {
-					r = geom.radiusAt(gllS[k])
+					r = geom.radiusAt(k)
 				} else {
-					r = geom.point(gllS[i], gllS[j], gllS[k]).Norm()
+					r = geom.point(i, j, k).Norm()
 				}
 				m := model.At(r)
 				reg.Rho[ip] = float32(m.Rho)
@@ -276,39 +487,37 @@ func (g *Globe) assignMaterial(reg *mesh.Region, e int, geom elemGeom) {
 
 // buildCoupling derives the fluid-solid coupling faces (CMB and ICB) for
 // a rank. Both sides of each boundary live on the same rank because
-// slices own full radial columns.
+// slices own full radial columns; region boundaries always sit in
+// uniform bands, at the lateral resolution the doubling schedule
+// dictates there.
 func (g *Globe) buildCoupling(local *mesh.Local, rank int) {
 	oc := local.Regions[earthmodel.RegionOuterCore]
 	if oc == nil || oc.NSpec == 0 {
 		return
 	}
-	var ocSpec, icSpec *regionSpec
-	for idx := range g.specs {
-		switch g.specs[idx].kind {
-		case earthmodel.RegionOuterCore:
-			ocSpec = &g.specs[idx]
-		case earthmodel.RegionInnerCore:
-			icSpec = &g.specs[idx]
-		}
-	}
-	s, ilo, ihi, jlo, jhi := g.sliceRange(rank)
+	ocSI := g.specOf(earthmodel.RegionOuterCore)
+	cmSI := g.specOf(earthmodel.RegionCrustMantle)
+	icSI := g.specOf(earthmodel.RegionInnerCore)
+	ocSpec := &g.specs[ocSI]
 	cm := local.Regions[earthmodel.RegionCrustMantle]
 	ic := local.Regions[earthmodel.RegionInnerCore]
-	nOCLayers := len(ocSpec.radialNodes) - 1
 	topK := mesh.NGLL - 1
 
+	// CMB: fluid top face against crust/mantle bottom face.
+	ocTop := len(ocSpec.layers) - 1
+	nexCMB := ocSpec.nexTop()
+	s, ilo, ihi, jlo, jhi := g.sliceRangeAt(rank, nexCMB, nexCMB)
+	t := g.grid(nexCMB)
 	for j := jlo; j < jhi; j++ {
 		for i := ilo; i < ihi; i++ {
-			a0, a1 := g.tan[i], g.tan[i+1]
-			b0, b1 := g.tan[j], g.tan[j+1]
-
-			// CMB: fluid top face against crust/mantle bottom face.
-			fe := g.shellElemIndex(rank, i, j, nOCLayers-1)
-			se := g.shellElemIndex(rank, i, j, 0)
+			a0, a1 := t[i], t[i+1]
+			b0, b1 := t[j], t[j+1]
+			fe := g.uniformElemIndex(ocSI, ocTop, rank, i, j)
+			se := g.uniformElemIndex(cmSI, 0, rank, i, j)
 			var cf mesh.CoupleFace
 			cf.SolidKind = earthmodel.RegionCrustMantle
-			r0, r1 := ocSpec.radialNodes[nOCLayers-1], ocSpec.radialNodes[nOCLayers]
-			nrm, wgt := faceQuad(s.Chunk, a0, a1, b0, b1, r0, r1, 1)
+			lt := ocSpec.layers[ocTop]
+			nrm, wgt := faceQuad(s.Chunk, a0, a1, b0, b1, lt.r0, lt.r1, 1)
 			for q := 0; q < mesh.NGLL2; q++ {
 				qi, qj := q%mesh.NGLL, q/mesh.NGLL
 				cf.FluidPt[q] = oc.Ibool[mesh.Idx(fe, qi, qj, topK)]
@@ -319,18 +528,28 @@ func (g *Globe) buildCoupling(local *mesh.Local, rank int) {
 				cf.Weight[q] = float32(wgt[q])
 			}
 			local.CMB = append(local.CMB, cf)
+		}
+	}
 
-			// ICB: fluid bottom face against inner-core shell top face.
-			if icSpec == nil || ic == nil || ic.NSpec == 0 {
-				continue
-			}
-			fe = g.shellElemIndex(rank, i, j, 0)
-			nICLayers := len(icSpec.radialNodes) - 1
-			se = g.shellElemIndex(rank, i, j, nICLayers-1)
+	// ICB: fluid bottom face against inner-core shell top face.
+	if icSI < 0 || ic == nil || ic.NSpec == 0 {
+		return
+	}
+	icSpec := &g.specs[icSI]
+	icTop := len(icSpec.layers) - 1
+	nexICB := ocSpec.nexBot()
+	s, ilo, ihi, jlo, jhi = g.sliceRangeAt(rank, nexICB, nexICB)
+	t = g.grid(nexICB)
+	for j := jlo; j < jhi; j++ {
+		for i := ilo; i < ihi; i++ {
+			a0, a1 := t[i], t[i+1]
+			b0, b1 := t[j], t[j+1]
+			fe := g.uniformElemIndex(ocSI, 0, rank, i, j)
+			se := g.uniformElemIndex(icSI, icTop, rank, i, j)
 			var icf mesh.CoupleFace
 			icf.SolidKind = earthmodel.RegionInnerCore
-			r0, r1 = ocSpec.radialNodes[0], ocSpec.radialNodes[1]
-			nrm, wgt = faceQuad(s.Chunk, a0, a1, b0, b1, r0, r1, 0)
+			lb := ocSpec.layers[0]
+			nrm, wgt := faceQuad(s.Chunk, a0, a1, b0, b1, lb.r0, lb.r1, 0)
 			for q := 0; q < mesh.NGLL2; q++ {
 				qi, qj := q%mesh.NGLL, q/mesh.NGLL
 				icf.FluidPt[q] = oc.Ibool[mesh.Idx(fe, qi, qj, 0)]
@@ -351,30 +570,26 @@ func (g *Globe) buildCoupling(local *mesh.Local, rank int) {
 // region with assembled area weights and outward normals, for the ocean
 // load approximation.
 func (g *Globe) buildSurface(local *mesh.Local, rank int) {
-	var cmSpec *regionSpec
-	for idx := range g.specs {
-		if g.specs[idx].kind == earthmodel.RegionCrustMantle {
-			cmSpec = &g.specs[idx]
-			break
-		}
-	}
-	if cmSpec == nil {
+	cmSI := g.specOf(earthmodel.RegionCrustMantle)
+	if cmSI < 0 {
 		return
 	}
-	s, ilo, ihi, jlo, jhi := g.sliceRange(rank)
+	cmSpec := &g.specs[cmSI]
 	cm := local.Regions[earthmodel.RegionCrustMantle]
-	nLayers := len(cmSpec.radialNodes) - 1
+	topL := len(cmSpec.layers) - 1
+	lt := cmSpec.layers[topL]
+	s, ilo, ihi, jlo, jhi := g.sliceRangeAt(rank, lt.nexXi, lt.nexEta)
+	t := g.grid(lt.nexXi)
 	topK := mesh.NGLL - 1
 
 	areaByPt := make(map[int32]float64)
 	nrmByPt := make(map[int32]cubedsphere.Vec3)
 	for j := jlo; j < jhi; j++ {
 		for i := ilo; i < ihi; i++ {
-			e := g.shellElemIndex(rank, i, j, nLayers-1)
-			a0, a1 := g.tan[i], g.tan[i+1]
-			b0, b1 := g.tan[j], g.tan[j+1]
-			r0, r1 := cmSpec.radialNodes[nLayers-1], cmSpec.radialNodes[nLayers]
-			nrm, wgt := faceQuad(s.Chunk, a0, a1, b0, b1, r0, r1, 1)
+			e := g.uniformElemIndex(cmSI, topL, rank, i, j)
+			a0, a1 := t[i], t[i+1]
+			b0, b1 := t[j], t[j+1]
+			nrm, wgt := faceQuad(s.Chunk, a0, a1, b0, b1, lt.r0, lt.r1, 1)
 			for q := 0; q < mesh.NGLL2; q++ {
 				qi, qj := q%mesh.NGLL, q/mesh.NGLL
 				pt := cm.Ibool[mesh.Idx(e, qi, qj, topK)]

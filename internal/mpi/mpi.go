@@ -35,6 +35,30 @@ const (
 	DefaultLinkBandwidth = 2.0e9 // bytes per second
 )
 
+// Options configure a world's virtual interconnect. The units mirror
+// the perfmodel machine catalog so a catalog entry plumbs straight
+// through: latency in microseconds per message endpoint, sustained link
+// bandwidth in GB/s. Zero fields select the SeaStar2 defaults.
+type Options struct {
+	LatencyUS float64
+	LinkBWGBs float64
+}
+
+// latencySeconds and bandwidthBytes resolve the options to SI units.
+func (o Options) latencySeconds() float64 {
+	if o.LatencyUS <= 0 {
+		return DefaultLinkLatency
+	}
+	return o.LatencyUS * 1e-6
+}
+
+func (o Options) bandwidthBytes() float64 {
+	if o.LinkBWGBs <= 0 {
+		return DefaultLinkBandwidth
+	}
+	return o.LinkBWGBs * 1e9
+}
+
 // message is one in-flight point-to-point payload.
 type message struct {
 	src, tag int
@@ -43,8 +67,13 @@ type message struct {
 
 // World is a communicator spanning a fixed number of ranks.
 type World struct {
-	n     int
-	comms []*Comm
+	n int
+	// latency and bandwidth are the resolved virtual interconnect
+	// parameters every endpoint charges (seconds per message endpoint,
+	// bytes per second).
+	latency   float64
+	bandwidth float64
+	comms     []*Comm
 
 	// central barrier state
 	barMu    sync.Mutex
@@ -61,12 +90,19 @@ type World struct {
 	colOut   []float64
 }
 
-// NewWorld creates a communicator with n ranks.
-func NewWorld(n int) *World {
+// NewWorld creates a communicator with n ranks on the default
+// (SeaStar2-class) virtual interconnect.
+func NewWorld(n int) *World { return NewWorldWith(n, Options{}) }
+
+// NewWorldWith creates a communicator with n ranks whose virtual
+// network time is charged with the given interconnect parameters —
+// the hook that lets the FIG6/OVERLAP experiments model each machine
+// of the catalog instead of hard-coding the XT4 SeaStar2.
+func NewWorldWith(n int, opts Options) *World {
 	if n < 1 {
 		panic(fmt.Sprintf("mpi: world size must be >= 1, got %d", n))
 	}
-	w := &World{n: n}
+	w := &World{n: n, latency: opts.latencySeconds(), bandwidth: opts.bandwidthBytes()}
 	w.barCond = sync.NewCond(&w.barMu)
 	w.colCond = sync.NewCond(&w.colMu)
 	w.comms = make([]*Comm, n)
@@ -233,7 +269,8 @@ func (c *Comm) addComm(bytes int64, msgs int64, d time.Duration) {
 	c.commTime += d
 	c.commWallMono += d
 	if msgs > 0 || bytes > 0 {
-		v := float64(msgs)*DefaultLinkLatency + float64(bytes)/DefaultLinkBandwidth
+		w := c.world
+		v := float64(msgs)*w.latency + float64(bytes)/w.bandwidth
 		c.vcommTime += time.Duration(v * float64(time.Second))
 	}
 	c.statMu.Unlock()
@@ -243,7 +280,7 @@ func (c *Comm) addComm(bytes int64, msgs int64, d time.Duration) {
 // message: latency plus payload transfer time.
 func (c *Comm) chargeVirtualRecv(bytes int) {
 	c.statMu.Lock()
-	c.vcommTime += virtualRecvCost(bytes)
+	c.vcommTime += c.virtualRecvCost(bytes)
 	c.statMu.Unlock()
 }
 

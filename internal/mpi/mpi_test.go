@@ -311,3 +311,38 @@ func BenchmarkAllreduce(b *testing.B) {
 		})
 	}
 }
+
+// A custom interconnect must scale the virtual time accounting: ten
+// times the latency and a tenth the bandwidth make every exchanged
+// message cost more virtual time, with wall behavior unchanged.
+func TestWorldInterconnectOptions(t *testing.T) {
+	run := func(opts Options) Stats {
+		w := NewWorldWith(2, opts)
+		w.Run(func(c *Comm) {
+			if c.Rank() == 0 {
+				c.Isend(1, 7, make([]float32, 1000))
+			} else {
+				c.Recv(0, 7)
+			}
+		})
+		return w.Stats()
+	}
+	base := run(Options{})
+	slow := run(Options{LatencyUS: 50, LinkBWGBs: 0.2})
+	if slow.VirtualCommTime <= base.VirtualCommTime {
+		t.Fatalf("slow interconnect virtual time %v not above default %v",
+			slow.VirtualCommTime, base.VirtualCommTime)
+	}
+	// The default must match the documented SeaStar2 constants.
+	def := Options{}
+	if def.latencySeconds() != DefaultLinkLatency || def.bandwidthBytes() != DefaultLinkBandwidth {
+		t.Fatalf("zero options resolve to %g s / %g B/s", def.latencySeconds(), def.bandwidthBytes())
+	}
+	got := Options{LatencyUS: 2.5, LinkBWGBs: 1.5}
+	if s := got.latencySeconds(); s < 2.4e-6 || s > 2.6e-6 {
+		t.Fatalf("latency conversion wrong: %g s", s)
+	}
+	if b := got.bandwidthBytes(); b != 1.5e9 {
+		t.Fatalf("bandwidth conversion wrong: %g B/s", b)
+	}
+}

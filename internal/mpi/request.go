@@ -30,8 +30,8 @@ type Request struct {
 	// counters survive ResetStats.
 	commAtPost   time.Duration
 	hiddenAtPost time.Duration
-	data       []float32
-	done       bool
+	data         []float32
+	done         bool
 }
 
 // Irecv posts a non-blocking receive for a message from rank src with
@@ -55,7 +55,7 @@ func (r *Request) complete(data []float32, blocked time.Duration) []float32 {
 	c := r.c
 	c.addComm(0, 0, blocked)
 	elapsed := time.Since(r.posted)
-	v := virtualRecvCost(4 * len(data))
+	v := c.virtualRecvCost(4 * len(data))
 	c.statMu.Lock()
 	// The overlap window is the wall time between post and completion
 	// that the rank spent *outside* communication calls (total elapsed
@@ -77,9 +77,11 @@ func (r *Request) complete(data []float32, blocked time.Duration) []float32 {
 	return data
 }
 
-// virtualRecvCost is the modeled receive-endpoint cost of one message.
-func virtualRecvCost(bytes int) time.Duration {
-	v := DefaultLinkLatency + float64(bytes)/DefaultLinkBandwidth
+// virtualRecvCost is the modeled receive-endpoint cost of one message
+// on this world's virtual interconnect.
+func (c *Comm) virtualRecvCost(bytes int) time.Duration {
+	w := c.world
+	v := w.latency + float64(bytes)/w.bandwidth
 	return time.Duration(v * float64(time.Second))
 }
 

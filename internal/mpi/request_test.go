@@ -121,7 +121,7 @@ func TestOverlapAccounting(t *testing.T) {
 	w.Run(func(c *Comm) {
 		if c.Rank() == 0 {
 			req := c.Irecv(1, 1)
-			c.Barrier()                 // message is queued after this
+			c.Barrier()                      // message is queued after this
 			time.Sleep(2 * time.Millisecond) // "computation" window
 			req.Wait()
 			req.Wait() // idempotent: no double accounting
@@ -145,9 +145,9 @@ func TestOverlapAccounting(t *testing.T) {
 	if s0.Exposed() != s0.VirtualCommTime-s0.HiddenCommTime {
 		t.Error("Exposed() inconsistent with components")
 	}
-	if s0.HiddenCommTime != virtualRecvCost(4*250000) {
+	if s0.HiddenCommTime != w.Comm(0).virtualRecvCost(4*250000) {
 		t.Errorf("hidden %v, want full transfer cost %v",
-			s0.HiddenCommTime, virtualRecvCost(4*250000))
+			s0.HiddenCommTime, w.Comm(0).virtualRecvCost(4*250000))
 	}
 
 	// Blocking Recv path: nothing hidden.
@@ -186,9 +186,9 @@ func TestOverlapExcludesSiblingWaitTime(t *testing.T) {
 	// Both requests spent their whole post-to-completion window blocked
 	// inside Wait calls, so hidden time must be a sliver of the ~1 ms of
 	// total modeled transfer — not the full per-message cost.
-	if s.HiddenCommTime > virtualRecvCost(4*payload)/2 {
+	if s.HiddenCommTime > w.Comm(0).virtualRecvCost(4*payload)/2 {
 		t.Errorf("hidden %v despite no computation between post and wait (transfer cost %v)",
-			s.HiddenCommTime, virtualRecvCost(4*payload))
+			s.HiddenCommTime, w.Comm(0).virtualRecvCost(4*payload))
 	}
 }
 
@@ -260,7 +260,7 @@ func TestResetStatsDuringOutstandingIrecv(t *testing.T) {
 			c.Isend(0, 1, make([]float32, payload))
 		}
 	})
-	if h := w.Comm(0).Stats().HiddenCommTime; h > virtualRecvCost(4*payload)/2 {
+	if h := w.Comm(0).Stats().HiddenCommTime; h > w.Comm(0).virtualRecvCost(4*payload)/2 {
 		t.Errorf("hidden %v after ResetStats despite a fully blocked window", h)
 	}
 }

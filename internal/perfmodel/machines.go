@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"specglobe/internal/mpi"
 )
 
 // Machine describes one of the four systems of section 5.
@@ -34,6 +36,18 @@ type Machine struct {
 	MemPerCoreGB float64
 	// RmaxTflops is the LINPACK Rmax (0 if unpublished).
 	RmaxTflops float64
+	// LatencyUS and LinkBWGBs describe the interconnect: MPI latency in
+	// microseconds and sustained per-link bandwidth in GB/s. They feed
+	// the virtual interconnect of internal/mpi (via mpi.Options) and the
+	// per-machine rescaling of the figure 6 communication model.
+	LatencyUS float64
+	LinkBWGBs float64
+}
+
+// Net returns the machine's interconnect as simulated-MPI options, for
+// plumbing a catalog entry straight into solver runs.
+func (m Machine) Net() mpi.Options {
+	return mpi.Options{LatencyUS: m.LatencyUS, LinkBWGBs: m.LinkBWGBs}
 }
 
 // Catalog lists Ranger, Franklin, Kraken and Jaguar with the figures
@@ -51,6 +65,8 @@ func Catalog() []Machine {
 			// 32 GB per 16-core node.
 			MemPerCoreGB: 2.0,
 			RmaxTflops:   326,
+			// SDR InfiniBand fat tree.
+			LatencyUS: 2.7, LinkBWGBs: 0.95,
 		},
 		{
 			Name: "Franklin", Site: "NERSC",
@@ -61,6 +77,8 @@ func Catalog() []Machine {
 			MemBWPerCoreGBs: 12.8 / 2,
 			MemPerCoreGB:    2.0,
 			RmaxTflops:      85,
+			// Cray SeaStar2 3D torus.
+			LatencyUS: 5.0, LinkBWGBs: 2.0,
 		},
 		{
 			Name: "Kraken", Site: "NICS",
@@ -70,7 +88,8 @@ func Catalog() []Machine {
 			// Quad-core XT4 node, DDR2-800.
 			MemBWPerCoreGBs: 12.8 / 4,
 			MemPerCoreGB:    1.0,
-			RmaxTflops:      0, // unknown at publication time
+			RmaxTflops:      0,                   // unknown at publication time
+			LatencyUS:       5.0, LinkBWGBs: 2.0, // SeaStar2
 		},
 		{
 			Name: "Jaguar", Site: "ORNL",
@@ -81,6 +100,7 @@ func Catalog() []Machine {
 			MemBWPerCoreGBs: 12.8 / 4,
 			MemPerCoreGB:    2.0,
 			RmaxTflops:      205,
+			LatencyUS:       5.0, LinkBWGBs: 2.0, // SeaStar2
 		},
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"specglobe/internal/linalg"
+	"specglobe/internal/mpi"
 )
 
 // Resolution conversion, figure 5 caption: Resolution = 256*17 / period.
@@ -99,6 +100,27 @@ func (c *CommModel) TotalComm(p int, res float64) float64 {
 // PerCoreComm predicts communication seconds per core.
 func (c *CommModel) PerCoreComm(p int, res float64) float64 {
 	return c.TotalComm(p, res) / float64(p)
+}
+
+// ForMachine rescales a model fitted on the default (SeaStar2-class)
+// virtual interconnect to another machine of the catalog: the res^2
+// term carries the halo bytes, so it scales with the inverse bandwidth
+// ratio; the P term carries the per-rank message overhead, so it scales
+// with the latency ratio. Machines without interconnect figures return
+// the model unchanged.
+func (c *CommModel) ForMachine(m Machine) *CommModel {
+	// The reference interconnect the measurements ran on: the mpi
+	// defaults, converted to the catalog's units.
+	refLatencyUS := mpi.DefaultLinkLatency * 1e6
+	refLinkBWGBs := mpi.DefaultLinkBandwidth / 1e9
+	out := &CommModel{C1: c.C1, C2: c.C2}
+	if m.LinkBWGBs > 0 {
+		out.C1 *= refLinkBWGBs / m.LinkBWGBs
+	}
+	if m.LatencyUS > 0 {
+		out.C2 *= m.LatencyUS / refLatencyUS
+	}
+	return out
 }
 
 // --- Figure 7: total runtime vs resolution ------------------------------

@@ -102,6 +102,12 @@ type Options struct {
 	// of MPI messages by 33% inside each chunk by handling crust mantle
 	// and inner core simultaneously".
 	CombinedSolidHalo bool
+	// Network configures the virtual interconnect the simulated MPI
+	// world charges (latency per message endpoint, link bandwidth).
+	// Zero selects the SeaStar2 defaults; the perfmodel machine catalog
+	// supplies per-machine values so FIG6/OVERLAP can extrapolate per
+	// machine.
+	Network mpi.Options
 	// Overlap selects the halo-exchange schedule (default: overlap
 	// communication with inner-element computation). Composes with
 	// CombinedSolidHalo.
@@ -279,7 +285,7 @@ func Run(sim *Simulation) (*Result, error) {
 		grav = earthmodel.NewGravityProfile(sim.Model, 2000)
 	}
 
-	world := mpi.NewWorld(len(sim.Locals))
+	world := mpi.NewWorldWith(len(sim.Locals), opts.Network)
 	collector := perf.NewCollector()
 	kernelPool := newPool(opts.Workers, opts.Kernel)
 	res := &Result{
