@@ -64,7 +64,7 @@ func experimentList() []experiment {
 			},
 		},
 		{
-			id: "OVERLAP", desc: "exposed comm: overlapped vs blocking halo schedule",
+			id: "OVERLAP", desc: "exposed comm: blocking vs overlapped vs pipelined fluid-solid schedule",
 			run: func(quick bool) (fmt.Stringer, error) {
 				nex := []int{8, 12}
 				nproc := []int{1, 2}

@@ -1,5 +1,7 @@
 package mesh
 
+import "specglobe/internal/earthmodel"
+
 // Overlap classifies each region's elements for the communication/
 // computation overlap schedule of the paper's section 5: *outer*
 // elements contribute at least one GLL point to a halo edge (a point
@@ -71,4 +73,141 @@ func (ov *Overlap) OuterFraction() float64 {
 		return 0
 	}
 	return float64(outer) / float64(total)
+}
+
+// CouplingSplit refines the Overlap classification for the pipelined
+// fluid→solid coupling schedule: the CMB/ICB coupling integrals consume
+// field values only at the boundary-face GLL points, so a schedule that
+// wants those values final *early* (before the region's full force
+// sweep completes) must know which elements contribute to them. Each
+// region's elements are partitioned three ways:
+//
+//   - HaloOuter: touches at least one halo point (a point shared with
+//     another rank). Identical to Overlap.Outer — these must be
+//     computed before the halo exchange is posted.
+//   - CouplingOuter: touches a CMB/ICB coupling point of this region
+//     but no halo point. Computing these together with HaloOuter makes
+//     every coupling-point contribution final as soon as the halo
+//     completes, without waiting for the Inner sweep.
+//   - Inner: touches neither. Free to run while a halo is in flight.
+//
+// All three lists are in ascending element order; concatenating
+// HaloOuter, CouplingOuter and Inner visits every element exactly once.
+// For the fluid region the coupling points are the FluidPt entries of
+// the rank's CMB and ICB faces; for a solid region, the SolidPt entries
+// of the faces whose SolidKind matches.
+type CouplingSplit struct {
+	HaloOuter, CouplingOuter, Inner [3][]int32
+}
+
+// BuildCouplingSplit classifies the elements of one rank's regions
+// against its halo plan and its fluid-solid coupling faces.
+func BuildCouplingSplit(l *Local, plan *HaloPlan) *CouplingSplit {
+	cs := &CouplingSplit{}
+	for kind := 0; kind < 3; kind++ {
+		reg := l.Regions[kind]
+		if reg == nil || reg.NSpec == 0 {
+			continue
+		}
+		// Non-nil even when empty, matching BuildOverlap: the force
+		// kernels treat a nil element list as "sweep everything".
+		cs.HaloOuter[kind] = make([]int32, 0, reg.NSpec)
+		cs.CouplingOuter[kind] = make([]int32, 0, reg.NSpec)
+		cs.Inner[kind] = make([]int32, 0, reg.NSpec)
+		halo := make([]bool, reg.NGlob)
+		for _, e := range plan.Edges[kind] {
+			for _, idx := range e.Idx {
+				halo[idx] = true
+			}
+		}
+		couple := make([]bool, reg.NGlob)
+		markFaces(couple, kind, reg, l.CMB)
+		markFaces(couple, kind, reg, l.ICB)
+		for e := 0; e < reg.NSpec; e++ {
+			isHalo, isCouple := false, false
+			for _, g := range reg.Ibool[e*NGLL3 : (e+1)*NGLL3] {
+				if halo[g] {
+					isHalo = true
+					break
+				}
+				if couple[g] {
+					isCouple = true
+				}
+			}
+			switch {
+			case isHalo:
+				cs.HaloOuter[kind] = append(cs.HaloOuter[kind], int32(e))
+			case isCouple:
+				cs.CouplingOuter[kind] = append(cs.CouplingOuter[kind], int32(e))
+			default:
+				cs.Inner[kind] = append(cs.Inner[kind], int32(e))
+			}
+		}
+	}
+	return cs
+}
+
+// markFaces sets the coupling-point flags one region sees on a face
+// list: the fluid degrees of freedom for the fluid region, the solid
+// ones for the matching solid region.
+func markFaces(couple []bool, kind int, reg *Region, faces []CoupleFace) {
+	for fi := range faces {
+		cf := &faces[fi]
+		if reg.IsFluid() {
+			for _, idx := range cf.FluidPt {
+				couple[idx] = true
+			}
+		} else if int(cf.SolidKind) == kind {
+			for _, idx := range cf.SolidPt {
+				couple[idx] = true
+			}
+		}
+	}
+}
+
+// BoundaryUnion returns HaloOuter ∪ CouplingOuter for one region in
+// ascending element order — the first sweep of the pipelined schedule:
+// after it, every halo point *and* every coupling point has its full
+// local element contribution.
+func (cs *CouplingSplit) BoundaryUnion(kind int) []int32 {
+	h, c := cs.HaloOuter[kind], cs.CouplingOuter[kind]
+	if len(h)+len(c) == 0 {
+		if h == nil && c == nil {
+			return nil
+		}
+		return []int32{}
+	}
+	out := make([]int32, 0, len(h)+len(c))
+	i, j := 0, 0
+	for i < len(h) && j < len(c) {
+		if h[i] < c[j] {
+			out = append(out, h[i])
+			i++
+		} else {
+			out = append(out, c[j])
+			j++
+		}
+	}
+	out = append(out, h[i:]...)
+	out = append(out, c[j:]...)
+	return out
+}
+
+// CouplingOuterFraction returns the fraction of this rank's elements
+// that are *fluid* coupling-outer — the extra work the pipelined
+// schedule pulls in front of the fluid halo post relative to the plain
+// overlap schedule. Solid coupling-outer elements are excluded: the
+// schedule never reorders them (only the fluid region runs the
+// boundary/inner refinement), so counting them would overstate the
+// rescheduled work.
+func (cs *CouplingSplit) CouplingOuterFraction() float64 {
+	couple, total := 0, 0
+	for kind := 0; kind < 3; kind++ {
+		total += len(cs.HaloOuter[kind]) + len(cs.CouplingOuter[kind]) + len(cs.Inner[kind])
+	}
+	couple = len(cs.CouplingOuter[earthmodel.RegionOuterCore])
+	if total == 0 {
+		return 0
+	}
+	return float64(couple) / float64(total)
 }

@@ -8,6 +8,7 @@ import (
 	"specglobe/internal/boxmesh"
 	"specglobe/internal/earthmodel"
 	"specglobe/internal/mesh"
+	"specglobe/internal/meshfem"
 )
 
 func buildRanks(t *testing.T, nranks int) ([]*mesh.Local, []*mesh.HaloPlan) {
@@ -92,6 +93,156 @@ func TestBuildOverlapSingleRankAllInner(t *testing.T) {
 	}
 	if f := ov.OuterFraction(); f != 0 {
 		t.Errorf("outer fraction %v on a single rank", f)
+	}
+}
+
+// checkCouplingSplit asserts the CouplingSplit invariants for one rank:
+// the three lists partition the element set in ascending order,
+// HaloOuter equals Overlap.Outer, and the halo/coupling point touch
+// relations hold per class.
+func checkCouplingSplit(t *testing.T, rank int, l *mesh.Local, plan *mesh.HaloPlan) {
+	t.Helper()
+	cs := mesh.BuildCouplingSplit(l, plan)
+	ov := mesh.BuildOverlap(l, plan)
+	for kind := 0; kind < 3; kind++ {
+		reg := l.Regions[kind]
+		if reg == nil || reg.NSpec == 0 {
+			if len(cs.HaloOuter[kind])+len(cs.CouplingOuter[kind])+len(cs.Inner[kind]) != 0 {
+				t.Fatalf("rank %d kind %d: empty region classified", rank, kind)
+			}
+			continue
+		}
+		halo := make([]bool, reg.NGlob)
+		for _, e := range plan.Edges[kind] {
+			for _, idx := range e.Idx {
+				halo[idx] = true
+			}
+		}
+		couple := make([]bool, reg.NGlob)
+		mark := func(faces []mesh.CoupleFace) {
+			for fi := range faces {
+				cf := &faces[fi]
+				if reg.IsFluid() {
+					for _, idx := range cf.FluidPt {
+						couple[idx] = true
+					}
+				} else if int(cf.SolidKind) == kind {
+					for _, idx := range cf.SolidPt {
+						couple[idx] = true
+					}
+				}
+			}
+		}
+		mark(l.CMB)
+		mark(l.ICB)
+		touches := func(e int32, flags []bool) bool {
+			for _, g := range reg.Ibool[int(e)*mesh.NGLL3 : (int(e)+1)*mesh.NGLL3] {
+				if flags[g] {
+					return true
+				}
+			}
+			return false
+		}
+		seen := make([]bool, reg.NSpec)
+		walk := func(name string, elems []int32, want func(e int32) bool) {
+			prev := int32(-1)
+			for _, e := range elems {
+				if e <= prev {
+					t.Fatalf("rank %d kind %d: %s not ascending", rank, kind, name)
+				}
+				prev = e
+				if seen[e] {
+					t.Fatalf("rank %d kind %d: element %d classified twice", rank, kind, e)
+				}
+				seen[e] = true
+				if !want(e) {
+					t.Fatalf("rank %d kind %d: element %d misclassified as %s", rank, kind, e, name)
+				}
+			}
+		}
+		walk("halo-outer", cs.HaloOuter[kind], func(e int32) bool { return touches(e, halo) })
+		walk("coupling-outer", cs.CouplingOuter[kind], func(e int32) bool {
+			return !touches(e, halo) && touches(e, couple)
+		})
+		walk("inner", cs.Inner[kind], func(e int32) bool {
+			return !touches(e, halo) && !touches(e, couple)
+		})
+		for e, s := range seen {
+			if !s {
+				t.Fatalf("rank %d kind %d: element %d unclassified", rank, kind, e)
+			}
+		}
+		// HaloOuter must be exactly the Overlap outer list — the halo
+		// post precondition is unchanged by the refinement.
+		if len(cs.HaloOuter[kind]) != len(ov.Outer[kind]) {
+			t.Fatalf("rank %d kind %d: halo-outer %d != overlap outer %d",
+				rank, kind, len(cs.HaloOuter[kind]), len(ov.Outer[kind]))
+		}
+		for i, e := range cs.HaloOuter[kind] {
+			if ov.Outer[kind][i] != e {
+				t.Fatalf("rank %d kind %d: halo-outer diverges from overlap outer at %d", rank, kind, i)
+			}
+		}
+		// BoundaryUnion must merge the two outer lists in ascending order.
+		u := cs.BoundaryUnion(kind)
+		if len(u) != len(cs.HaloOuter[kind])+len(cs.CouplingOuter[kind]) {
+			t.Fatalf("rank %d kind %d: union length %d", rank, kind, len(u))
+		}
+		prev := int32(-1)
+		for _, e := range u {
+			if e <= prev {
+				t.Fatalf("rank %d kind %d: union not ascending", rank, kind)
+			}
+			prev = e
+		}
+	}
+}
+
+// Box meshes have no coupling faces: the split must degenerate to the
+// Overlap classification with an empty CouplingOuter class.
+func TestCouplingSplitBoxDegenerate(t *testing.T) {
+	locals, plans := buildRanks(t, 2)
+	for rank, l := range locals {
+		checkCouplingSplit(t, rank, l, plans[rank])
+		cs := mesh.BuildCouplingSplit(l, plans[rank])
+		for kind := 0; kind < 3; kind++ {
+			if n := len(cs.CouplingOuter[kind]); n != 0 {
+				t.Errorf("rank %d kind %d: %d coupling-outer elements without coupling faces", rank, kind, n)
+			}
+		}
+		if f := cs.CouplingOuterFraction(); f != 0 {
+			t.Errorf("rank %d: coupling-outer fraction %v without faces", rank, f)
+		}
+	}
+}
+
+// On a real globe every CMB/ICB-adjacent element not already on a rank
+// boundary must land in CouplingOuter, and every element containing a
+// coupling point must be in one of the two outer classes.
+func TestCouplingSplitGlobe(t *testing.T) {
+	model := earthmodel.NewHomogeneous(6371e3, earthmodel.Material{
+		Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+	})
+	model.ICBRadius = 1221.5e3
+	model.CMBRadius = 3480e3
+	g, err := meshfem.Build(meshfem.Config{NexXi: 4, NProcXi: 1, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCouplingOuter := false
+	for rank, l := range g.Locals {
+		checkCouplingSplit(t, rank, l, g.Plans[rank])
+		cs := mesh.BuildCouplingSplit(l, g.Plans[rank])
+		oc := int(earthmodel.RegionOuterCore)
+		if len(l.CMB)+len(l.ICB) > 0 && len(cs.HaloOuter[oc])+len(cs.CouplingOuter[oc]) == 0 {
+			t.Errorf("rank %d: coupling faces but no fluid outer elements", rank)
+		}
+		if len(cs.CouplingOuter[oc]) > 0 {
+			sawCouplingOuter = true
+		}
+	}
+	if !sawCouplingOuter {
+		t.Error("no rank produced a non-empty fluid CouplingOuter class — the globe split is vacuous")
 	}
 }
 

@@ -241,14 +241,49 @@ func (c *Collector) Report() Report {
 	return Aggregate(list)
 }
 
-// FlopCounts provides the analytic per-element flop model used for
-// PSiNS-style counting: the kernels are fixed sequences of arithmetic,
-// so operation counts per element per time step are compile-time
-// constants.
+// FlopCounts provides the analytic per-element and per-point flop model
+// used for PSiNS-style counting: the kernels and the pointwise update
+// sweeps are fixed sequences of arithmetic, so operation counts per
+// element (or point) per time step are compile-time constants. Every
+// pointwise sweep of the solver routes through one of these constants —
+// ad-hoc literals at the call sites drifted out of sync with the code
+// (the fluid predictor was counted at 3 flops/point for a 6-flop
+// update, and the mass divisions, Coriolis/gravity corrections, ocean
+// load and correctors were not counted at all), which skewed the
+// reported Mflops/s and the FIG6 model fits.
 type FlopCounts struct {
-	SolidElement int64 // per solid element per step
-	FluidElement int64 // per fluid element per step
-	PointUpdate  int64 // per grid point per step (Newmark update)
+	SolidElement int64 // force kernel, per solid element per step
+	FluidElement int64 // force kernel, per fluid element per step
+
+	// Newmark predictor: d += dt v + dt²/2 a (2 mul + 2 add per
+	// component), v += dt/2 a (1 mul + 1 add), a = 0. Three components
+	// for the solid displacement, one for the fluid potential.
+	SolidPredictor int64 // per solid grid point per step
+	FluidPredictor int64 // per fluid grid point per step
+
+	// Mass division a *= M⁻¹ (one multiply per component).
+	SolidMassDiv int64 // per solid grid point per step
+	FluidMassDiv int64 // per fluid grid point per step
+
+	// Pointwise corrections fused into the solid update sweep.
+	Coriolis int64 // per solid point per step, when rotation is on
+	Gravity  int64 // per solid point per step, when gravity tables exist
+
+	// Newmark corrector: v += dt/2 a per component.
+	SolidCorrector int64 // per solid grid point per step
+	FluidCorrector int64 // per fluid grid point per step
+
+	// Fluid-solid coupling, per boundary-face GLL point per step:
+	// CouplePoint is the fluid-side normal-displacement accumulation,
+	// TractionPoint the solid-side pressure traction.
+	CouplePoint   int64
+	TractionPoint int64
+
+	// OceanPoint is the free-surface ocean-load rescale per surface
+	// point per step; SourcePoint the source-array injection per
+	// element point per active source step.
+	OceanPoint  int64
+	SourcePoint int64
 }
 
 // DefaultFlopCounts returns the operation counts for the NGLL=5 kernels.
@@ -261,6 +296,31 @@ func DefaultFlopCounts() FlopCounts {
 		SolidElement: int64(ngll3 * (9*10 + 9*10 + 90)),
 		// 3 + 3 applies plus ~30 pointwise flops.
 		FluidElement: int64(ngll3 * (3*10 + 3*10 + 30)),
-		PointUpdate:  9,
+
+		SolidPredictor: 3 * (4 + 2), // 3 components × (d update 4 + v update 2)
+		FluidPredictor: 4 + 2,       // chi update 4 + chiDot update 2
+
+		SolidMassDiv: 3,
+		FluidMassDiv: 1,
+
+		// a_x += 2Ω v_y, a_y -= 2Ω v_x: 2 × (1 mul + 1 add).
+		Coriolis: 4,
+		// u_r projection (3 mul + 2 add) plus, per component, the
+		// shared u_r·r̂ product, deflection, two scalings and two
+		// accumulates: 5 + 3×6.
+		Gravity: 5 + 3*6,
+
+		SolidCorrector: 3 * 2,
+		FluidCorrector: 2,
+
+		// u·n (3 mul + 2 add) + weighted accumulate (1 mul + 1 add).
+		CouplePoint: 5 + 2,
+		// Shared w·χ̈ product + 3 × (1 mul + 1 sub).
+		TractionPoint: 1 + 3*2,
+
+		// a·n (3 mul + 2 add), scale (1 mul + 1 sub), 3 × (1 mul + 1 sub).
+		OceanPoint: 5 + 2 + 3*2,
+		// stf × arr + accumulate per component.
+		SourcePoint: 3 * 2,
 	}
 }

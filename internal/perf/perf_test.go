@@ -181,12 +181,42 @@ func TestPhaseNames(t *testing.T) {
 
 func TestDefaultFlopCounts(t *testing.T) {
 	fc := DefaultFlopCounts()
-	if fc.SolidElement <= 0 || fc.FluidElement <= 0 || fc.PointUpdate <= 0 {
-		t.Error("non-positive flop counts")
+	for name, v := range map[string]int64{
+		"SolidElement":   fc.SolidElement,
+		"FluidElement":   fc.FluidElement,
+		"SolidPredictor": fc.SolidPredictor,
+		"FluidPredictor": fc.FluidPredictor,
+		"SolidMassDiv":   fc.SolidMassDiv,
+		"FluidMassDiv":   fc.FluidMassDiv,
+		"Coriolis":       fc.Coriolis,
+		"Gravity":        fc.Gravity,
+		"SolidCorrector": fc.SolidCorrector,
+		"FluidCorrector": fc.FluidCorrector,
+		"CouplePoint":    fc.CouplePoint,
+		"TractionPoint":  fc.TractionPoint,
+		"OceanPoint":     fc.OceanPoint,
+		"SourcePoint":    fc.SourcePoint,
+	} {
+		if v <= 0 {
+			t.Errorf("non-positive flop count %s", name)
+		}
 	}
-	// Fluid work is roughly a third of solid work (1 field vs 3).
+	// Fluid work is roughly a third of solid work (1 field vs 3) — in
+	// the kernels and in every pointwise sweep.
 	ratio := float64(fc.SolidElement) / float64(fc.FluidElement)
 	if ratio < 2 || ratio > 4 {
 		t.Errorf("solid/fluid flop ratio %v implausible", ratio)
+	}
+	if fc.SolidPredictor != 3*fc.FluidPredictor {
+		t.Errorf("solid predictor %d is not 3x the fluid predictor %d",
+			fc.SolidPredictor, fc.FluidPredictor)
+	}
+	if fc.SolidMassDiv != 3*fc.FluidMassDiv || fc.SolidCorrector != 3*fc.FluidCorrector {
+		t.Error("solid pointwise sweeps must be 3x their fluid counterparts")
+	}
+	// The fluid predictor regression: the 2-term Newmark update of the
+	// potential is 6 flops, not the 3 the solver once hardcoded.
+	if fc.FluidPredictor != 6 {
+		t.Errorf("FluidPredictor = %d, want 6", fc.FluidPredictor)
 	}
 }

@@ -95,4 +95,5 @@ func (rs *rankState) addSolidDisplacementToFluid(faces []mesh.CoupleFace) {
 			fl.chiDdot[cf.FluidPt[q]] += cf.Weight[q] * un
 		}
 	}
+	rs.prof.AddFlops(rs.fc.CouplePoint * int64(len(faces)*mesh.NGLL2))
 }

@@ -1,0 +1,392 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"specglobe/internal/boxmesh"
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/mesh"
+	"specglobe/internal/meshfem"
+	"specglobe/internal/mpi"
+	"specglobe/internal/perf"
+)
+
+// schedules is the three-way schedule matrix of the pipelined-coupling
+// work: the blocking baseline, the PR 1 overlap schedule, and the
+// pipelined fluid→solid schedule (which requires overlap).
+var schedules = []struct {
+	name     string
+	mode     OverlapMode
+	pipeline bool
+}{
+	{"legacy", OverlapOff, false},
+	{"overlap", OverlapOn, false},
+	{"pipeline", OverlapOn, true},
+}
+
+// coupledGlobe builds the 6-rank solid-fluid-solid globe the pipeline
+// tests run on.
+func coupledGlobe(t testing.TB, nex, nproc int) (*meshfem.Globe, earthmodel.Model) {
+	t.Helper()
+	model := earthmodel.NewHomogeneous(6371e3, earthmodel.Material{
+		Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+	})
+	model.ICBRadius = 1221.5e3
+	model.CMBRadius = 3480e3
+	g, err := meshfem.Build(meshfem.Config{NexXi: nex, NProcXi: nproc, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, model
+}
+
+func globeSim(t testing.TB, g *meshfem.Globe, model earthmodel.Model, opts Options) *Simulation {
+	t.Helper()
+	srcLoc, err := g.LocateLatLonDepth(0, 0, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rloc, err := g.LocateLatLonDepth(20, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m0 = 1e20
+	return &Simulation{
+		Locals: g.Locals, Plans: g.Plans, Model: model,
+		Sources: []Source{{
+			Rank: srcLoc.Rank, Kind: srcLoc.Kind, Elem: srcLoc.Elem, Ref: srcLoc.Ref,
+			MomentTensor: [3][3]float64{{m0, 0, 0}, {0, m0, 0}, {0, 0, m0}},
+			STF:          GaussianSTF(10, 25),
+		}},
+		Receivers: []Receiver{{Name: "R", Rank: rloc.Rank, Kind: rloc.Kind, Elem: rloc.Elem, Ref: rloc.Ref}},
+		Opts:      opts,
+	}
+}
+
+// The pipelined schedule's determinism guarantee: bit-identical
+// seismograms across worker counts AND across repeated runs (goroutine
+// scheduling permutes halo arrival orders between runs; the fixed
+// accumulation order — boundary sweep, coupling, inner sweep, halo
+// edges in deterministic order — must make that invisible).
+func TestPipelineBitIdentical(t *testing.T) {
+	g, model := coupledGlobe(t, 4, 1)
+	run := func(workers int) *Seismogram {
+		res, err := Run(globeSim(t, g, model, Options{
+			Steps: 25, Workers: workers, Overlap: OverlapOn, PipelineCoupling: true,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seismograms["R"]
+	}
+	ref := run(1)
+	identical(t, "pipeline/workers=1-rerun", ref, run(1))
+	identical(t, "pipeline/workers=4", ref, run(4))
+	identical(t, "pipeline/workers=4-rerun", ref, run(4))
+}
+
+// The pipelined schedule reorders element sweeps relative to the other
+// two schedules but sums the same per-element forces, so cross-mode
+// agreement is float32-roundoff tight — and it must compose with the
+// combined solid halo.
+func TestPipelineMatchesSerialSchedules(t *testing.T) {
+	g, model := coupledGlobe(t, 4, 1)
+	run := func(mode OverlapMode, pipelined, combined bool) *Seismogram {
+		res, err := Run(globeSim(t, g, model, Options{
+			Steps: 30, Overlap: mode, PipelineCoupling: pipelined, CombinedSolidHalo: combined,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seismograms["R"]
+	}
+	agree := func(tag string, a, b *Seismogram) {
+		scale := maxAbs(a.X) + maxAbs(a.Y) + maxAbs(a.Z)
+		if scale == 0 {
+			t.Fatalf("%s: no signal", tag)
+		}
+		for i := range a.X {
+			d := math.Abs(float64(a.X[i]-b.X[i])) +
+				math.Abs(float64(a.Y[i]-b.Y[i])) +
+				math.Abs(float64(a.Z[i]-b.Z[i]))
+			if d > 5e-3*scale {
+				t.Fatalf("%s: sample %d differs by %g (scale %g)", tag, i, d, scale)
+			}
+		}
+	}
+	pipe := run(OverlapOn, true, false)
+	agree("pipeline-vs-overlap", pipe, run(OverlapOn, false, false))
+	agree("pipeline-vs-legacy", pipe, run(OverlapOff, false, false))
+	agree("pipeline-combined-halo", pipe, run(OverlapOn, true, true))
+}
+
+// On a slow virtual interconnect the fluid halo transfer time exceeds
+// what the fluid inner sweep alone can hide; the pipelined schedule
+// widens that window by the whole solid outer sweep, so it must hide
+// strictly more and expose strictly less than the PR 1 overlap
+// schedule.
+func TestPipelineHidesMoreOnSlowNetwork(t *testing.T) {
+	g, model := coupledGlobe(t, 4, 1)
+	slow := mpi.Options{LatencyUS: 2000, LinkBWGBs: 0.0005}
+	run := func(pipelined bool) *Result {
+		res, err := Run(globeSim(t, g, model, Options{
+			Steps: 10, Overlap: OverlapOn, PipelineCoupling: pipelined, Network: slow,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	on := run(false)
+	pipe := run(true)
+	if pipe.MPI.HiddenCommTime <= on.MPI.HiddenCommTime {
+		t.Errorf("pipeline hid %v, overlap hid %v — no extra overlap window",
+			pipe.MPI.HiddenCommTime, on.MPI.HiddenCommTime)
+	}
+	if pipe.MPI.Exposed() >= on.MPI.Exposed() {
+		t.Errorf("pipeline exposed %v >= overlap exposed %v",
+			pipe.MPI.Exposed(), on.MPI.Exposed())
+	}
+	// Same messages either way: the pipeline changes the schedule, not
+	// the traffic.
+	if pipe.MPI.Messages != on.MPI.Messages {
+		t.Errorf("message count changed: %d vs %d", pipe.MPI.Messages, on.MPI.Messages)
+	}
+}
+
+// attachDecoupledFluid grafts a standalone fluid region (no coupling
+// faces, no halo edges) onto one rank of a box world: the minimal
+// mixed-region configuration — one rank carries a fluid region, the
+// others do not — that exercises the tag-alignment paths of every
+// schedule.
+func attachDecoupledFluid(t *testing.T, locals []*mesh.Local, rank int) {
+	t.Helper()
+	donor, err := boxBuildFluidDonor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals[rank].Regions[earthmodel.RegionOuterCore] = donor
+}
+
+// boxBuildFluidDonor builds a tiny single-rank box region and converts
+// it to a fluid (outer-core) region: zero shear modulus, fluid mass
+// matrix JacW/kappa.
+func boxBuildFluidDonor() (*mesh.Region, error) {
+	b, err := boxmesh.Build(boxmesh.Config{
+		Nx: 2, Ny: 2, Nz: 2,
+		Lx: 5e3, Ly: 5e3, Lz: 5e3,
+		NRanks: 1,
+		Mat:    boxMat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg := b.Locals[0].Regions[earthmodel.RegionCrustMantle]
+	reg.Kind = earthmodel.RegionOuterCore
+	for i := range reg.Mu {
+		reg.Mu[i] = 0
+	}
+	reg.AssembleMassLocal()
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+// A rank with no fluid region must consume exactly the same tag
+// sequence as fluid-bearing ranks in every schedule: the solid halo
+// between ranks 0 and 1 only matches if both sides agree on every
+// preceding tag. A misalignment deadlocks (both sides wait on tags the
+// peer never sends) or corrupts the assembly; bit-identical solid
+// physics with and without the extra fluid region proves neither
+// happened.
+func TestMixedRegionTagAlignment(t *testing.T) {
+	const L = 40e3
+	run := func(withFluid bool, mode OverlapMode, pipelined, combined bool) *Seismogram {
+		b := buildBox(t, 4, 2, L)
+		if withFluid {
+			attachDecoupledFluid(t, b.Locals, 1)
+			var err error
+			b.Plans, err = mesh.BuildHalo(b.Locals)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		src := boxSource(t, b, L/2+1e3, L/2, L/2, 1e17, 1.0)
+		res, err := Run(&Simulation{
+			Locals: b.Locals, Plans: b.Plans,
+			Sources:   []Source{src},
+			Receivers: []Receiver{boxReceiver(t, b, "R", L/2+12e3, L/2+3e3, L/2, false)},
+			Opts: Options{
+				Steps: 40, Dt: 0.02, Overlap: mode,
+				PipelineCoupling: pipelined, CombinedSolidHalo: combined,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seismograms["R"]
+	}
+	for _, sc := range schedules {
+		for _, combined := range []bool{false, true} {
+			name := sc.name
+			if combined {
+				name += "/combined"
+			}
+			t.Run(name, func(t *testing.T) {
+				without := run(false, sc.mode, sc.pipeline, combined)
+				with := run(true, sc.mode, sc.pipeline, combined)
+				identical(t, name, without, with)
+			})
+		}
+	}
+}
+
+// Global energy on a coupled fluid-solid globe must be conserved to
+// bounded drift after the source stops radiating — under all three
+// schedules and both worker counts. This is the end-to-end check that
+// the pipelined coupling applies the traction with the *final* boundary
+// fluid values: a schedule bug that couples a partially assembled
+// potential pumps or leaks energy at the CMB/ICB every step.
+func TestCoupledEnergyConservation(t *testing.T) {
+	g, model := coupledGlobe(t, 4, 1)
+	for _, sc := range schedules {
+		for _, workers := range []int{1, 4} {
+			t.Run(sc.name+map[int]string{1: "/w1", 4: "/w4"}[workers], func(t *testing.T) {
+				sim := globeSim(t, g, model, Options{
+					Steps: 80, EnergyEvery: 5, Workers: workers,
+					Overlap: sc.mode, PipelineCoupling: sc.pipeline,
+				})
+				// Short source so the run (~58 s at this mesh's dt) has
+				// a long post-source window.
+				sim.Sources[0].STF = GaussianSTF(5, 12)
+				res, err := Run(sim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The Gaussian source (half duration 5 s, peak 12 s)
+				// has stopped radiating by ~30 s; compare total energy
+				// from the first post-source sample to the last.
+				var post []float64
+				for _, e := range res.Energy {
+					if float64(e.Step)*res.Dt > 30 {
+						post = append(post, e.Kinetic+e.Potential)
+					}
+				}
+				if len(post) < 3 {
+					t.Fatalf("only %d post-source energy samples (dt=%g)", len(post), res.Dt)
+				}
+				first, last := post[0], post[len(post)-1]
+				if first <= 0 {
+					t.Fatal("no energy injected")
+				}
+				if drift := math.Abs(last-first) / first; drift > 0.05 {
+					t.Errorf("energy drift %.4f (first %g, last %g)", drift, first, last)
+				}
+			})
+		}
+	}
+}
+
+// Seismogram.Dt is documented as solver dt × RecordEvery; with
+// RecordEvery > 1 the stored samples must be the exact decimation of
+// the every-step recording (sample i ↔ step (i+1)·RecordEvery), and a
+// producer that stored the raw solver dt would stretch downstream
+// spectra by the decimation factor.
+func TestSeismogramDtRecordEvery(t *testing.T) {
+	const L = 40e3
+	run := func(every int) (*Seismogram, float64) {
+		b := buildBox(t, 4, 1, L)
+		src := boxSource(t, b, L/2+1e3, L/2, L/2, 1e17, 1.0)
+		res, err := Run(&Simulation{
+			Locals: b.Locals, Plans: b.Plans,
+			Sources:   []Source{src},
+			Receivers: []Receiver{boxReceiver(t, b, "R", L/2+12e3, L/2+3e3, L/2, false)},
+			Opts:      Options{Steps: 30, Dt: 0.02, RecordEvery: every},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seismograms["R"], res.Dt
+	}
+	full, _ := run(1)
+	dec, dt := run(3)
+	if dec.RecordEvery != 3 {
+		t.Errorf("RecordEvery = %d, want 3", dec.RecordEvery)
+	}
+	if want := dt * 3; dec.Dt != want {
+		t.Errorf("decimated Dt = %g, want solver dt x RecordEvery = %g", dec.Dt, want)
+	}
+	if len(dec.X) != 10 {
+		t.Fatalf("%d samples, want 30/3 = 10", len(dec.X))
+	}
+	if maxAbs(dec.X)+maxAbs(dec.Y)+maxAbs(dec.Z) == 0 {
+		t.Fatal("no signal")
+	}
+	for i := range dec.X {
+		j := 3*i + 2 // step (i+1)*3 is full-rate sample index (i+1)*3-1
+		if dec.X[i] != full.X[j] || dec.Y[i] != full.Y[j] || dec.Z[i] != full.Z[j] {
+			t.Fatalf("decimated sample %d != full-rate sample %d", i, j)
+		}
+	}
+}
+
+// The analytic flop count of a source-free box run is exactly
+// steps × (kernel + predictor + mass-division + corrector) work — the
+// pointwise sweeps all route through perf.FlopCounts now, so the total
+// is reproducible arithmetic, not a drifting estimate.
+func TestFlopAccountingExact(t *testing.T) {
+	const L = 40e3
+	for _, rotation := range []bool{false, true} {
+		b := buildBox(t, 3, 1, L)
+		const steps = 4
+		res, err := Run(&Simulation{
+			Locals: b.Locals, Plans: b.Plans,
+			Opts: Options{Steps: steps, Dt: 0.02, Rotation: rotation, RotationRate: 0.01},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := b.Locals[0].Regions[earthmodel.RegionCrustMantle]
+		fc := res.Perf
+		c := perf.DefaultFlopCounts()
+		perPoint := c.SolidPredictor + c.SolidMassDiv + c.SolidCorrector
+		if rotation {
+			perPoint += c.Coriolis
+		}
+		want := int64(steps) * (c.SolidElement*int64(reg.NSpec) + perPoint*int64(reg.NGlob))
+		if fc.TotalFlops != want {
+			t.Errorf("rotation=%v: TotalFlops = %d, want %d", rotation, fc.TotalFlops, want)
+		}
+	}
+}
+
+// Flop accounting is schedule-invariant: the three schedules and both
+// worker counts perform identical arithmetic on the coupled globe, so
+// the counted totals must agree exactly.
+func TestFlopAccountingScheduleInvariant(t *testing.T) {
+	g, model := coupledGlobe(t, 4, 1)
+	var ref int64
+	for i, sc := range schedules {
+		for _, workers := range []int{1, 4} {
+			res, err := Run(globeSim(t, g, model, Options{
+				Steps: 6, Workers: workers, Overlap: sc.mode, PipelineCoupling: sc.pipeline,
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 && workers == 1 {
+				ref = res.Perf.TotalFlops
+				if ref <= 0 {
+					t.Fatal("no flops counted")
+				}
+				continue
+			}
+			if res.Perf.TotalFlops != ref {
+				t.Errorf("%s/w%d: TotalFlops = %d, want %d (schedule changed the count)",
+					sc.name, workers, res.Perf.TotalFlops, ref)
+			}
+		}
+	}
+}

@@ -60,10 +60,14 @@ type recvLocal struct {
 }
 
 // sweepClasses holds the precomputed color classes of each element
-// sub-list a schedule iterates: the full region, and the outer/inner
-// halves of the overlap split (nil when the overlap schedule is off).
+// sub-list a schedule iterates: the full region, the outer/inner halves
+// of the overlap split (nil when the overlap schedule is off), and the
+// pipelined refinement for the fluid region — boundary is the
+// halo-outer ∪ coupling-outer union swept before the fluid halo post,
+// pipeInner the remaining elements that run under the in-flight halo.
 type sweepClasses struct {
-	full, outer, inner [][]int32
+	full, outer, inner  [][]int32
+	boundary, pipeInner [][]int32
 }
 
 // rankState is all per-rank solver state.
@@ -93,8 +97,12 @@ type rankState struct {
 
 	// overlap is true when the solver runs the outer/inner schedule;
 	// ov then holds the element classification (nil otherwise).
-	overlap bool
-	ov      *mesh.Overlap
+	// pipeline additionally runs the fluid→solid pipelined coupling
+	// schedule; split then holds the three-way classification.
+	overlap  bool
+	ov       *mesh.Overlap
+	pipeline bool
+	split    *mesh.CouplingSplit
 
 	solid [3]*solidField // indexed by region kind; nil for the fluid slot
 	fluid *fluidField    // nil if the mesh has no outer core
@@ -130,6 +138,13 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 	if opts.Overlap == OverlapOn {
 		rs.overlap = true
 		rs.ov = mesh.BuildOverlap(rs.local, rs.plan)
+		// The pipelined coupling schedule refines the overlap split; it
+		// has no blocking variant (the plain overlap schedule is its
+		// off switch), so it is gated on overlap being on.
+		if opts.PipelineCoupling {
+			rs.pipeline = true
+			rs.split = mesh.BuildCouplingSplit(rs.local, rs.plan)
+		}
 	}
 	// Color the elements and precompute the classes each schedule
 	// sweeps, so the hot loop only walks prebuilt lists.
@@ -143,6 +158,10 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 		if rs.overlap {
 			rs.sweeps[kind].outer = rs.colors.Classes(kind, rs.ov.Outer[kind])
 			rs.sweeps[kind].inner = rs.colors.Classes(kind, rs.ov.Inner[kind])
+		}
+		if rs.pipeline && reg.IsFluid() {
+			rs.sweeps[kind].boundary = rs.colors.Classes(kind, rs.split.BoundaryUnion(kind))
+			rs.sweeps[kind].pipeInner = rs.colors.Classes(kind, rs.split.Inner[kind])
 		}
 	}
 

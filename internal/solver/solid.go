@@ -184,6 +184,7 @@ func (rs *rankState) addFluidTractionToSolid(faces []mesh.CoupleFace) {
 			f.az[sp] -= w * cf.Nz[q] * chidd
 		}
 	}
+	rs.prof.AddFlops(rs.fc.TractionPoint * int64(len(faces)*mesh.NGLL2))
 }
 
 // gradT1/2/3 apply the weighted transpose matrix along one direction.

@@ -103,6 +103,7 @@ func (rs *rankState) addSources(step int) {
 			f.ay[g] += stf * sl.arr[p][1]
 			f.az[g] += stf * sl.arr[p][2]
 		}
+		rs.prof.AddFlops(rs.fc.SourcePoint * int64(mesh.NGLL3))
 	}
 }
 

@@ -19,6 +19,11 @@ import (
 // fluid-solid coupling needs no iteration (section 1: "non-iterative
 // coupling between fluid and solid based on the displacement vector").
 //
+// The force stage runs one of two schedules: the stage-serial schedule
+// (forceStageSerial — blocking or PR 1 overlap), or the pipelined
+// coupling schedule (forceStagePipelined) that starts the solid outer
+// sweep while the fluid halo is still in flight.
+//
 // The force kernels sweep their color classes on the shared worker
 // pool (colors serialize, chunks within a color are conflict-free),
 // and the pointwise predictor/mass-division/corrector loops dispatch
@@ -26,11 +31,24 @@ import (
 // bit-identical at any worker count. Coupling, source and ocean-load
 // terms touch few points and stay inline on the rank goroutine.
 func (rs *rankState) timeStep(step int) {
+	rs.predictor()
+	if rs.pipeline {
+		rs.forceStagePipelined(step)
+	} else {
+		rs.forceStageSerial(step)
+	}
+	rs.solidUpdate()
+	rs.corrector()
+	if (step+1)%rs.opts.RecordEvery == 0 {
+		rs.record()
+	}
+}
+
+// predictor runs the Newmark prediction for every field.
+func (rs *rankState) predictor() {
 	dt := float32(rs.dt)
 	half := dt / 2
 	halfSq := dt * dt / 2
-
-	// --- Predictor ------------------------------------------------------
 	for _, f := range rs.solid {
 		if f == nil {
 			continue
@@ -46,7 +64,7 @@ func (rs *rankState) timeStep(step int) {
 				f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
 			}
 		})
-		rs.prof.AddFlops(rs.fc.PointUpdate * int64(len(f.dx)))
+		rs.prof.AddFlops(rs.fc.SolidPredictor * int64(len(f.dx)))
 	}
 	if fl := rs.fluid; fl != nil {
 		rs.pool.sweepRange(rs.scr, len(fl.chi), &rs.updateBusy, func(lo, hi int) {
@@ -56,9 +74,15 @@ func (rs *rankState) timeStep(step int) {
 				fl.chiDdot[i] = 0
 			}
 		})
-		rs.prof.AddFlops(3 * int64(len(fl.chi)))
+		rs.prof.AddFlops(rs.fc.FluidPredictor * int64(len(fl.chi)))
 	}
+}
 
+// forceStageSerial runs the fluid stage to completion (forces,
+// assembly, mass division), then the solid stage — the blocking and
+// PR 1 overlap schedules. Within each stage the overlap schedule still
+// hides that stage's halo behind its own inner elements.
+func (rs *rankState) forceStageSerial(step int) {
 	// --- Fluid stage ------------------------------------------------------
 	//
 	// With the overlap schedule (the paper's central scaling technique),
@@ -74,19 +98,11 @@ func (rs *rankState) timeStep(step int) {
 			first, second = rs.sweeps[oc].outer, rs.sweeps[oc].inner
 		}
 		rs.computeFluidForces(first)
-		rs.prof.Time(perf.PhaseForceFluid, func() {
-			rs.addSolidDisplacementToFluid(rs.local.CMB)
-			rs.addSolidDisplacementToFluid(rs.local.ICB)
-		})
+		rs.addFluidCoupling()
 		fluidHalo := rs.beginAssembleScalar(oc, rs.fluid.chiDdot)
 		rs.computeFluidForces(second)
 		fluidHalo.finish()
-		fl := rs.fluid
-		rs.pool.sweepRange(rs.scr, len(fl.chiDdot), &rs.updateBusy, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				fl.chiDdot[i] *= fl.massInv[i]
-			}
-		})
+		rs.fluidMassDivision()
 	} else {
 		rs.nextTag() // keep the exchange sequence aligned
 	}
@@ -102,14 +118,97 @@ func (rs *rankState) timeStep(step int) {
 		}
 		rs.computeSolidForces(f, first)
 	}
+	rs.addTractionAndSources(step)
+	rs.finishSolidStage()
+}
+
+// forceStagePipelined interleaves the two stages: the fluid halo is
+// posted as soon as the boundary-adjacent fluid elements (halo-outer
+// and coupling-outer) are done, and the solid outer sweep plus the
+// fluid inner sweep execute while that halo is in flight. The coupling
+// only consumes fluid values on the CMB/ICB surfaces, and those are
+// final right after the halo completes — the solid stage never needed
+// the fully assembled fluid potential.
+//
+// Determinism: the per-point accumulation order is fixed in every
+// window. Fluid chiDdot receives, in order: boundary-class elements
+// (colors ascend, elements ascend within a color), the coupling term
+// (face order), pipeInner-class elements (which share no point with a
+// coupling face by construction), then the halo contributions in
+// deterministic edge order. Solid accelerations receive outer-class
+// elements, traction (face order), sources, inner-class elements, then
+// halo edges — the same relative order as the serial overlap schedule,
+// so traction-vs-force ordering per point is mode-invariant.
+func (rs *rankState) forceStagePipelined(step int) {
+	var fluidHalo *pendingExchange
+	if rs.fluid != nil {
+		oc := int(earthmodel.RegionOuterCore)
+		// (a) boundary-adjacent fluid forces: every halo point *and*
+		// every coupling point gets its full local element contribution.
+		rs.computeFluidForces(rs.sweeps[oc].boundary)
+		rs.addFluidCoupling()
+		// (b) post the fluid halo.
+		fluidHalo = rs.beginAssembleScalar(oc, rs.fluid.chiDdot)
+	} else {
+		rs.nextTag() // keep the exchange sequence aligned
+	}
+
+	// (c) under the in-flight fluid halo: the solid outer force sweep
+	// (no fluid dependency) and the remaining fluid elements (they
+	// touch neither halo nor coupling points).
+	for kind, f := range rs.solid {
+		if f != nil {
+			rs.computeSolidForces(f, rs.sweeps[kind].outer)
+		}
+	}
+	if rs.fluid != nil {
+		oc := int(earthmodel.RegionOuterCore)
+		rs.computeFluidForces(rs.sweeps[oc].pipeInner)
+		// (d) wait for the boundary-touching fluid values, finalize the
+		// potential, and only then couple it into the solid.
+		fluidHalo.finish()
+		rs.fluidMassDivision()
+	}
+	rs.addTractionAndSources(step)
+	rs.finishSolidStage()
+}
+
+// addFluidCoupling applies the fluid-side CMB/ICB coupling term from
+// the predicted solid displacement.
+func (rs *rankState) addFluidCoupling() {
+	rs.prof.Time(perf.PhaseForceFluid, func() {
+		rs.addSolidDisplacementToFluid(rs.local.CMB)
+		rs.addSolidDisplacementToFluid(rs.local.ICB)
+	})
+}
+
+// fluidMassDivision finalizes the fluid acceleration potential. All
+// element, coupling and halo contributions must be in.
+func (rs *rankState) fluidMassDivision() {
+	fl := rs.fluid
+	rs.pool.sweepRange(rs.scr, len(fl.chiDdot), &rs.updateBusy, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fl.chiDdot[i] *= fl.massInv[i]
+		}
+	})
+	rs.prof.AddFlops(rs.fc.FluidMassDiv * int64(len(fl.chiDdot)))
+}
+
+// addTractionAndSources applies the boundary terms of the solid stage:
+// the fluid pressure traction at the CMB/ICB (the fluid potential is
+// final here in every schedule) and the source injection.
+func (rs *rankState) addTractionAndSources(step int) {
 	rs.prof.Time(perf.PhaseForceSolid, func() {
 		rs.addFluidTractionToSolid(rs.local.CMB)
 		rs.addFluidTractionToSolid(rs.local.ICB)
 		rs.addSources(step)
 	})
+}
 
-	// Post the halo exchange: outer forces, coupling and sources above
-	// fixed every halo point's local contribution.
+// finishSolidStage posts the solid halo exchange (every halo point's
+// local contribution — outer forces, traction, sources — is fixed by
+// now), runs the solid inner sweeps while it is in flight, and waits.
+func (rs *rankState) finishSolidStage() {
 	var solidHalo []*pendingExchange
 	if rs.opts.CombinedSolidHalo {
 		solidHalo = append(solidHalo, rs.beginAssembleSolidCombined())
@@ -117,7 +216,11 @@ func (rs *rankState) timeStep(step int) {
 		for kind, f := range rs.solid {
 			if f != nil {
 				solidHalo = append(solidHalo, rs.beginAssembleVector(kind, f.ax, f.ay, f.az))
-			} else if !rs.local.Regions[kind].IsFluid() {
+			} else if kind != int(earthmodel.RegionOuterCore) {
+				// A solid region slot this rank does not carry (nil or
+				// empty region): consume the tag so ranks that do carry
+				// it stay sequence-aligned. Keyed on the region *kind*,
+				// not the local mesh — Regions[kind] may be nil.
 				rs.nextTag()
 			}
 		}
@@ -134,9 +237,12 @@ func (rs *rankState) timeStep(step int) {
 	for _, p := range solidHalo {
 		p.finish()
 	}
+}
 
-	// Mass division plus the pointwise Coriolis and gravity corrections,
-	// fused into one range sweep per field.
+// solidUpdate is the mass division plus the pointwise Coriolis and
+// gravity corrections, fused into one range sweep per field, followed
+// by the ocean load.
+func (rs *rankState) solidUpdate() {
 	twoOmega := float32(0)
 	if rs.opts.Rotation {
 		twoOmega = float32(2 * rs.opts.RotationRate)
@@ -174,6 +280,14 @@ func (rs *rankState) timeStep(step int) {
 				}
 			}
 		})
+		flops := rs.fc.SolidMassDiv
+		if twoOmega != 0 {
+			flops += rs.fc.Coriolis
+		}
+		if f.gOverR != nil {
+			flops += rs.fc.Gravity
+		}
+		rs.prof.AddFlops(flops * int64(len(f.ax)))
 	}
 	// Ocean load: rescale the normal component of the free-surface
 	// acceleration by M/(M+Mw). Few points; inline.
@@ -188,10 +302,14 @@ func (rs *rankState) timeStep(step int) {
 				cm.ay[pt] -= scale * sl.Ny[i]
 				cm.az[pt] -= scale * sl.Nz[i]
 			}
+			rs.prof.AddFlops(rs.fc.OceanPoint * int64(len(sl.Pts)))
 		})
 	}
+}
 
-	// --- Corrector ---------------------------------------------------
+// corrector runs the Newmark correction for every field.
+func (rs *rankState) corrector() {
+	half := float32(rs.dt) / 2
 	for _, f := range rs.solid {
 		if f == nil {
 			continue
@@ -203,6 +321,7 @@ func (rs *rankState) timeStep(step int) {
 				f.vz[i] += half * f.az[i]
 			}
 		})
+		rs.prof.AddFlops(rs.fc.SolidCorrector * int64(len(f.vx)))
 	}
 	if fl := rs.fluid; fl != nil {
 		rs.pool.sweepRange(rs.scr, len(fl.chiDot), &rs.updateBusy, func(lo, hi int) {
@@ -210,10 +329,6 @@ func (rs *rankState) timeStep(step int) {
 				fl.chiDot[i] += half * fl.chiDdot[i]
 			}
 		})
-	}
-
-	// --- Recording --------------------------------------------------------
-	if (step+1)%rs.opts.RecordEvery == 0 {
-		rs.record()
+		rs.prof.AddFlops(rs.fc.FluidCorrector * int64(len(fl.chiDot)))
 	}
 }
