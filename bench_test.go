@@ -675,3 +675,159 @@ func TestBenchmarkExperimentsSmoke(t *testing.T) {
 		t.Fatalf("rows %d", len(r.Rows))
 	}
 }
+
+// BenchmarkAutoDoubling compares the hand-tuned doubling schedule
+// against the wavelength-derived one (meshfem.PlanDoublings) on PREM at
+// equal NEX: same surface resolution, so steps/sec and the mesh-shape
+// metrics isolate what following the velocity profile buys over typing
+// radii by hand. The derived mesh must preserve the realized minimum
+// points-per-wavelength of the uniform mesh (the governing worst
+// element sits in the fine surface layers).
+func BenchmarkAutoDoubling(b *testing.B) {
+	const nex = 8
+	period := meshfem.PaperResolutionPeriod(nex)
+	for _, mode := range []struct {
+		name string
+		cfg  meshfem.Config
+	}{
+		{"manual", meshfem.Config{NexXi: nex, NProcXi: 1, Model: earthmodel.NewPREM(),
+			Doublings: []float64{5200e3, 3000e3}}},
+		{"derived", meshfem.Config{NexXi: nex, NProcXi: 1, Model: earthmodel.NewPREM(),
+			AutoDoubling: &meshfem.AutoDoubling{}}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			g, err := meshfem.Build(mode.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hs := mesh.ComputeHaloStats(g.Locals, g.Plans)
+			rs := mesh.ComputeResolutionStats(g.Locals, period)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				const steps = 3
+				res := runPREMSteps(b, g, solver.Options{Steps: steps})
+				b.ReportMetric(steps/res.Perf.WallTime.Seconds(), "steps/sec")
+				b.ReportMetric(float64(hs.Elements), "elements")
+				b.ReportMetric(rs.MinPts, "min-pts/wavelength")
+				b.ReportMetric(100*res.Perf.CommFraction, "exposed-comm-%")
+			}
+		})
+	}
+}
+
+// runPREMSteps mirrors runSteps for PREM-model globes (the MESHRES
+// configurations mesh PREM itself, whose wavelength profile the derived
+// schedule follows).
+func runPREMSteps(b testing.TB, g *meshfem.Globe, opts solver.Options) *solver.Result {
+	b.Helper()
+	src := benchSource(b, g)
+	res, err := solver.Run(&solver.Simulation{
+		Locals: g.Locals, Plans: g.Plans, Model: earthmodel.NewPREM(),
+		Sources: []solver.Source{src},
+		Opts:    opts,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// benchPR5Snapshot is the schema of BENCH_PR5.json: the perf-trajectory
+// data point for wavelength-derived doubling schedules (uniform vs
+// hand-tuned vs derived on PREM, at 6 and 24 ranks).
+type benchPR5Snapshot struct {
+	PR         int    `json:"pr"`
+	Benchmark  string `json:"benchmark"`
+	Date       string `json:"date"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Steps      int    `json:"steps"`
+	// Budget is the points-per-wavelength rule; the target period is
+	// the paper rule 256*17/NEX per configuration.
+	Budget float64       `json:"pts_per_wavelength_budget"`
+	Manual []float64     `json:"manual_radii_m"`
+	Rows   []benchPR5Row `json:"rows"`
+	Note   string        `json:"note"`
+}
+
+// benchPR5Row is one (rank count, resolution, schedule) measurement.
+type benchPR5Row struct {
+	Ranks               int       `json:"ranks"`
+	Res                 int       `json:"res"`
+	Schedule            string    `json:"schedule"`
+	DoublingRadiiM      []float64 `json:"doubling_radii_m"`
+	Elements            int       `json:"elements"`
+	HaloPoints          int       `json:"halo_points"`
+	HaloPerElem         float64   `json:"halo_pts_per_elem"`
+	MinPtsPerWavelength float64   `json:"min_pts_per_wavelength"`
+	ExposedCommS        float64   `json:"exposed_comm_s"`
+	ExposedCommFrac     float64   `json:"exposed_comm_frac"`
+}
+
+// TestWriteBenchPR5 regenerates BENCH_PR5.json. It only runs when
+// BENCH_SNAPSHOT=1 is set (it measures wall time, which is meaningless
+// on a loaded CI runner):
+//
+//	BENCH_SNAPSHOT=1 go test -run TestWriteBenchPR5 .
+func TestWriteBenchPR5(t *testing.T) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		t.Skip("set BENCH_SNAPSHOT=1 to rewrite BENCH_PR5.json")
+	}
+	const steps = 8
+	manual := []float64{5200e3, 3000e3}
+	r, err := experiments.MeshResolution([][2]int{{8, 1}, {16, 2}}, manual, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := benchPR5Snapshot{
+		PR: 5, Benchmark: "BenchmarkAutoDoubling",
+		Date: time.Now().UTC().Format("2006-01-02"), GoMaxProcs: runtime.GOMAXPROCS(0),
+		Steps: steps, Budget: r.Budget, Manual: manual,
+		Note: "wavelength-derived schedules (PlanDoublings on the PREM profile, paper-rule " +
+			"period per NEX, 5 pts/wavelength budget) vs hand-tuned radii: the derived " +
+			"schedule coarsens as much as the hand-tuned one while guaranteeing the " +
+			"points-per-wavelength budget below every doubling; the realized minimum " +
+			"stays at the uniform mesh's governing surface element",
+	}
+	for _, row := range r.Rows {
+		snap.Rows = append(snap.Rows, benchPR5Row{
+			Ranks: row.P, Res: row.Res, Schedule: row.Schedule,
+			DoublingRadiiM: row.Doublings,
+			Elements:       row.Elements, HaloPoints: row.HaloPoints,
+			HaloPerElem:         row.SurfacePerVolume,
+			MinPtsPerWavelength: row.MinPts,
+			ExposedCommS:        row.ExposedSec,
+			ExposedCommFrac:     row.ExposedFrac,
+		})
+		// The derived schedule must preserve the uniform mesh's realized
+		// resolution while cutting elements; assert it here so a planner
+		// regression cannot silently land in the snapshot.
+		if row.Schedule == "derived" {
+			var uni benchPR5Row
+			for _, s := range snap.Rows {
+				if s.Ranks == row.P && s.Res == row.Res && s.Schedule == "uniform" {
+					uni = s
+				}
+			}
+			if row.Elements >= uni.Elements {
+				t.Errorf("P=%d res=%d: derived schedule did not cut elements (%d vs %d)",
+					row.P, row.Res, row.Elements, uni.Elements)
+			}
+			if row.MinPts < uni.MinPtsPerWavelength*0.999 {
+				t.Errorf("P=%d res=%d: derived min pts %.3f below uniform %.3f",
+					row.P, row.Res, row.MinPts, uni.MinPtsPerWavelength)
+			}
+		}
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR5.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range snap.Rows {
+		t.Logf("P=%d res=%d %-8s elems %6d halo %7d min-pts %.2f exposed %.6fs (frac %.4f)",
+			row.Ranks, row.Res, row.Schedule, row.Elements, row.HaloPoints,
+			row.MinPtsPerWavelength, row.ExposedCommS, row.ExposedCommFrac)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"specglobe/internal/earthmodel"
 	"specglobe/internal/mesh"
@@ -20,24 +22,55 @@ func main() {
 	log.SetPrefix("meshfem: ")
 
 	var (
-		nex     = flag.Int("nex", 8, "NEX_XI: elements per chunk side")
-		nproc   = flag.Int("nproc", 1, "NPROC_XI: slices per chunk side")
-		twoPass = flag.Bool("two-pass", false, "legacy mode: run the full generation twice (section 4.4)")
-		outDir  = flag.String("out", "", "write the legacy per-core database to this directory")
+		nex       = flag.Int("nex", 8, "NEX_XI: elements per chunk side")
+		nproc     = flag.Int("nproc", 1, "NPROC_XI: slices per chunk side")
+		twoPass   = flag.Bool("two-pass", false, "legacy mode: run the full generation twice (section 4.4)")
+		outDir    = flag.String("out", "", "write the legacy per-core database to this directory")
+		doublings = flag.String("doublings", "", "comma-separated doubling radii in km (e.g. 5200,3000)")
+		auto      = flag.Bool("auto-doubling", false, "derive the doubling schedule from the PREM wavelength profile")
+		period    = flag.Float64("period", 0, "auto-doubling target period in seconds (0: paper rule 256*17/NEX)")
+		ppw       = flag.Float64("ppw", 0, "auto-doubling points-per-wavelength budget (0: the paper's 5)")
 	)
 	flag.Parse()
 
-	g, err := meshfem.Build(meshfem.Config{
+	cfg := meshfem.Config{
 		NexXi: *nex, NProcXi: *nproc,
 		Model:            earthmodel.NewPREM(),
 		TwoPassMaterials: *twoPass,
-	})
+	}
+	for _, f := range strings.Split(*doublings, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		km, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			log.Fatalf("bad -doublings entry %q: %v", f, err)
+		}
+		cfg.Doublings = append(cfg.Doublings, km*1e3)
+	}
+	if *auto {
+		cfg.AutoDoubling = &meshfem.AutoDoubling{TargetPeriodS: *period, PointsPerWavelength: *ppw}
+	}
+	g, err := meshfem.Build(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("PREM globe mesh, NEX_XI=%d, NPROC_XI=%d -> %d ranks\n",
 		*nex, *nproc, len(g.Locals))
+	if len(g.Cfg.Doublings) > 0 {
+		how := "configured"
+		if *auto && len(cfg.Doublings) == 0 {
+			a := cfg.AutoDoubling.Resolved(*nex)
+			how = fmt.Sprintf("derived from the wavelength profile (period %.0fs, budget %.1f pts/wavelength)",
+				a.TargetPeriodS, a.PointsPerWavelength)
+		}
+		fmt.Printf("doubling radii (%s):", how)
+		for _, d := range g.Cfg.Doublings {
+			fmt.Printf(" %.0f km", d/1e3)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("build passes: %d\n", g.BuildPasses)
 	fmt.Printf("elements: %d total; grid points: %d (per-region DOF sites)\n",
 		g.TotalElements(), g.TotalPoints())
@@ -48,6 +81,25 @@ func main() {
 	stats := mesh.ComputeLoadStats(g.Locals)
 	fmt.Printf("load balance: min %d, max %d, mean %.1f elements/rank (imbalance %.3f)\n",
 		stats.MinElems, stats.MaxElems, stats.MeanElems, stats.Imbalance)
+
+	// Resolution accounting at the reported shortest period: how many
+	// GLL points each layer puts on the shortest wavelength (the ~5
+	// points-per-wavelength rule the mesh is sized by).
+	rs := mesh.ComputeResolutionStats(g.Locals, g.ShortestPeriod)
+	fmt.Printf("resolution at %.0f s: min %.2f pts/wavelength (worst element in %v at r=%.0f km), mean %.1f\n",
+		g.ShortestPeriod, rs.MinPts, rs.Worst.Kind, rs.Worst.RadiusM/1e3, rs.MeanPts)
+	fmt.Printf("  %-12s %9s %9s %5s %9s\n", "region", "r0 km", "r1 km", "nex", "min pts")
+	for _, lr := range g.LayerResolutions(g.ShortestPeriod) {
+		tag := ""
+		if lr.Doubling {
+			tag = " (doubling)"
+		}
+		if lr.Cube {
+			tag = " (central cube)"
+		}
+		fmt.Printf("  %-12v %9.0f %9.0f %5d %9.2f%s\n",
+			lr.Region, lr.R0/1e3, lr.R1/1e3, lr.NexXi, lr.MinPts, tag)
+	}
 
 	var memBytes int64
 	for _, l := range g.Locals {

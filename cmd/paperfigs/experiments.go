@@ -115,6 +115,21 @@ func experimentList() []experiment {
 			},
 		},
 		{
+			id: "MESHRES", desc: "wavelength-derived vs hand-tuned doubling schedules (elements, halo, min pts/wavelength)",
+			run: func(quick bool) (fmt.Stringer, error) {
+				// Hand-tuned radii as in MESHDBL; the derived schedule
+				// comes from the PREM wavelength profile per NEX.
+				manual := []float64{5200e3, 3000e3}
+				configs := [][2]int{{8, 1}, {16, 2}}
+				steps := 6
+				if quick {
+					configs = [][2]int{{8, 1}}
+					steps = 4
+				}
+				return experiments.MeshResolution(configs, manual, steps)
+			},
+		},
+		{
 			id: "MEM37", desc: "memory model + section 6 table (TAB6)",
 			run: func(quick bool) (fmt.Stringer, error) {
 				nex := []int{4, 8, 12, 16}

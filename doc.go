@@ -8,7 +8,10 @@
 // The repository layout follows the paper's structure:
 //
 //   - internal/meshfem — the mesher (cubed sphere, PREM layering,
-//     inflated central cube, slice decomposition)
+//     inflated central cube, slice decomposition, mesh-doubling layers
+//     with wavelength-derived schedules)
+//   - internal/earthmodel — PREM and test models, the gravity and
+//     minimum-wavelength profiles, attenuation fits
 //   - internal/solver — the solver (Newmark time scheme, solid and
 //     fluid kernels, fluid-solid coupling, attenuation, rotation,
 //     gravity, ocean load)
@@ -23,6 +26,7 @@
 //   - internal/core — the public façade used by cmd/ and examples/
 //
 // The top-level bench_test.go regenerates each evaluation artifact as a
-// Go benchmark; see DESIGN.md for the experiment index and
+// Go benchmark; see README.md for the quickstart and the BENCH_PR*.json
+// trajectory convention, DESIGN.md for the experiment index, and
 // EXPERIMENTS.md for paper-versus-measured results.
 package specglobe

@@ -40,16 +40,26 @@ func main() {
 	for _, sweep := range []struct {
 		nex, nproc int
 		doublings  []float64
+		auto       bool
 	}{
-		{4, 1, nil}, {4, 2, nil}, {8, 1, nil}, {8, 2, nil},
-		{8, 1, []float64{5200e3, 3000e3}}, {8, 2, []float64{5200e3}},
+		{4, 1, nil, false}, {4, 2, nil, false}, {8, 1, nil, false}, {8, 2, nil, false},
+		{8, 1, []float64{5200e3, 3000e3}, false}, {8, 2, []float64{5200e3}, false},
+		{8, 1, nil, true}, // schedule derived from the wavelength profile
 	} {
 		nex, nproc := sweep.nex, sweep.nproc
-		g, err := meshfem.Build(meshfem.Config{
+		cfg := meshfem.Config{
 			NexXi: nex, NProcXi: nproc, Model: model, Doublings: sweep.doublings,
-		})
+		}
+		if sweep.auto {
+			cfg.AutoDoubling = &meshfem.AutoDoubling{}
+		}
+		g, err := meshfem.Build(cfg)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if sweep.auto {
+			fmt.Printf("auto row: derived doubling radii %v (wavelength profile, paper-rule period)\n",
+				g.Cfg.Doublings)
 		}
 		loc, err := g.LocateLatLonDepth(0, 0, 120e3)
 		if err != nil {
@@ -77,12 +87,15 @@ func main() {
 		if len(sweep.doublings) > 0 {
 			label = fmt.Sprintf("%3ddbl", nex)
 		}
+		if sweep.auto {
+			label = fmt.Sprintf("%3daut", nex)
+		}
 		fmt.Printf("%s %6d %6d %10.0f %9.2f %12v %12d %10.1f %9.2f%%\n",
 			label, nproc, len(g.Locals), stats.MeanElems, halo.MeanRankSV,
 			wall.Round(time.Millisecond),
 			res.MPI.Messages, float64(res.MPI.BytesSent)/1e6,
 			100*res.Perf.CommFraction)
-		if len(sweep.doublings) == 0 {
+		if len(sweep.doublings) == 0 && !sweep.auto {
 			// The two-term model's res^2 halo scaling describes the
 			// uniform mesh; doubled rows are shown but not fitted.
 			samples = append(samples, perfmodel.CommSample{

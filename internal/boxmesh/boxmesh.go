@@ -1,6 +1,7 @@
 // Package boxmesh builds rectangular Cartesian spectral-element meshes
 // that use exactly the same mesh.Local structures as the globe mesher.
-// It exists for validation: plane waves, point sources and energy
+// It exists for validation of the solver physics the paper's section 3
+// benchmark set exercises: plane waves, point sources and energy
 // budgets in a homogeneous box have known behavior, so the solver's
 // kernels can be tested without the sphere's geometric complexity.
 package boxmesh

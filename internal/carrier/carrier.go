@@ -1,9 +1,10 @@
 // Package carrier converts between float64 payloads and the []float32
-// message format of the in-process MPI runtime (internal/mpi). The
-// encoding reinterprets each float64 as two 32-bit halves, so the round
-// trip is bit-exact — including negative zero, infinities and NaN
-// payload bits — which the exact point-matching and deterministic
-// reductions of the solver rely on.
+// message format of the in-process MPI runtime (internal/mpi, the
+// paper's MPI substitution documented in DESIGN.md). The encoding
+// reinterprets each float64 as two 32-bit halves, so the round trip is
+// bit-exact — including negative zero, infinities and NaN payload bits
+// — which the exact point-matching and deterministic reductions of the
+// solver rely on.
 package carrier
 
 import "math"

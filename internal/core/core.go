@@ -107,6 +107,13 @@ type Config struct {
 	// Dt overrides the automatic stable time step when positive.
 	Dt float64
 
+	// Doublings lists explicit mesh-doubling radii (meters, descending);
+	// AutoDoubling, when non-nil and Doublings is empty, derives them
+	// from the model's minimum-wavelength profile (meshfem.PlanDoublings).
+	// Both empty means a single angular resolution.
+	Doublings    []float64
+	AutoDoubling *meshfem.AutoDoubling
+
 	// Physics switches (the benchmark set of section 3).
 	Attenuation bool
 	Rotation    bool
@@ -140,7 +147,11 @@ type Report struct {
 	IO             meshio.Stats
 	ShortestPeriod float64
 	Load           mesh.LoadStats
-	StationErrors  float64 // worst station location residual (m)
+	// Resolution audits the built mesh's points-per-wavelength at
+	// ShortestPeriod (min over elements should sit near the 5-point
+	// budget the period estimate uses).
+	Resolution    mesh.ResolutionStats
+	StationErrors float64 // worst station location residual (m)
 }
 
 // Run executes a full simulation.
@@ -155,6 +166,8 @@ func Run(cfg Config) (*Report, error) {
 		NexXi:            cfg.NexXi,
 		NProcXi:          cfg.NProcXi,
 		Model:            cfg.Model,
+		Doublings:        cfg.Doublings,
+		AutoDoubling:     cfg.AutoDoubling,
 		TwoPassMaterials: cfg.TwoPassMesher,
 	})
 	if err != nil {
@@ -164,6 +177,7 @@ func Run(cfg Config) (*Report, error) {
 	rep.Globe = globe
 	rep.ShortestPeriod = globe.ShortestPeriod
 	rep.Load = mesh.ComputeLoadStats(globe.Locals)
+	rep.Resolution = mesh.ComputeResolutionStats(globe.Locals, globe.ShortestPeriod)
 
 	locals, plans := globe.Locals, globe.Plans
 	if cfg.LegacyIO {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"specglobe/internal/earthmodel"
+	"specglobe/internal/meshfem"
 	"specglobe/internal/stations"
 )
 
@@ -264,5 +265,48 @@ func TestDefaultModelIsPREM(t *testing.T) {
 	}
 	if rep.Config.Model.Name() != "PREM" {
 		t.Errorf("default model %q", rep.Config.Model.Name())
+	}
+}
+
+func TestRunWithDoublingSchedules(t *testing.T) {
+	base := Config{
+		NexXi: 8, NProcXi: 1,
+		Model: smallModel(),
+		Steps: 4,
+		Event: testEvent,
+	}
+	uni, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.Resolution.MinPts <= 0 || uni.Resolution.Elements == 0 {
+		t.Fatalf("resolution audit missing: %+v", uni.Resolution)
+	}
+
+	// Explicit radii route through to the mesher.
+	man := base
+	man.Doublings = []float64{5200e3, 3000e3}
+	mrep, err := Run(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrep.Globe.TotalElements() >= uni.Globe.TotalElements() {
+		t.Errorf("manual doubling did not reduce elements: %d vs %d",
+			mrep.Globe.TotalElements(), uni.Globe.TotalElements())
+	}
+
+	// AutoDoubling derives a schedule when no explicit radii are given.
+	auto := base
+	auto.AutoDoubling = &meshfem.AutoDoubling{}
+	arep, err := Run(auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arep.Globe.Cfg.Doublings) == 0 {
+		t.Error("auto run recorded no derived radii")
+	}
+	if arep.Globe.TotalElements() >= uni.Globe.TotalElements() {
+		t.Errorf("auto doubling did not reduce elements: %d vs %d",
+			arep.Globe.TotalElements(), uni.Globe.TotalElements())
 	}
 }

@@ -1,9 +1,10 @@
 // Package cubedsphere implements the analytic "gnomonic mapping" (cubed
 // sphere) of Sadourny (1972) and Ronchi et al. (1996) that
-// SPECFEM3D_GLOBE uses to mesh the globe: the sphere is split into 6
-// chunks, each parameterized by two angles (xi, eta) in [-pi/4, pi/4],
-// and each chunk is further subdivided into NPROC_XI^2 mesh slices for
-// a total of 6 * NPROC_XI^2 slices, one per MPI rank.
+// SPECFEM3D_GLOBE uses to mesh the globe (the domain decomposition
+// behind the paper's section 3 simulation setup): the sphere is split
+// into 6 chunks, each parameterized by two angles (xi, eta) in
+// [-pi/4, pi/4], and each chunk is further subdivided into NPROC_XI^2
+// mesh slices for a total of 6 * NPROC_XI^2 slices, one per MPI rank.
 //
 // The package also provides the "inflated central cube" mapping for the
 // core of the inner core: a spherified cube whose surface grid matches

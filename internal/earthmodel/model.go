@@ -5,7 +5,9 @@
 // integrating the density, and fits standard-linear-solid attenuation
 // mechanisms to a constant quality factor over the simulated frequency
 // band (the memory-variable machinery the solver's attenuation mode
-// uses).
+// uses), and tabulates the minimum-wavelength profile (S velocity in
+// solids, P in the fluid core, times the target period) that sizes the
+// mesh by the paper's ~5 points-per-wavelength rule of section 3.
 //
 // The paper's production runs use 3D tomographic and crustal models
 // layered on a radial reference; those data sets are a data gate

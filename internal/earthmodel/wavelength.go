@@ -1,0 +1,121 @@
+package earthmodel
+
+// The minimum-wavelength profile: the quantity the production
+// SPECFEM3D_GLOBE mesher sizes the mesh by. At every radius the
+// shortest seismic wavelength the mesh must resolve is the slowest wave
+// the medium supports times the target period — the S wave in solid
+// regions, the P wave in the fluid outer core (which carries no shear).
+// The mesher's doubling-schedule planner (internal/meshfem) walks this
+// profile from the surface down and coarsens the lateral resolution
+// wherever the local wavelength has grown enough to afford it while
+// keeping the configured points-per-wavelength budget (the paper's ~5
+// GLL points per shortest wavelength, section 3).
+
+// MinVelocityAt returns the wavelength-governing velocity at radius r:
+// the S velocity in solid regions and the P velocity in the fluid
+// (where shear does not propagate). Exactly at a discontinuity it
+// follows Model.At and returns the layer below.
+func MinVelocityAt(m Model, r float64) float64 {
+	mat := m.At(r)
+	if mat.IsFluid() {
+		return mat.Vp
+	}
+	return mat.Vs
+}
+
+// WavelengthProfile tabulates the minimum seismic wavelength
+// lambda_min(r) = MinVelocity(r) * period on a uniform radial grid.
+// Each sample takes the minimum over both sides of any first-order
+// discontinuity falling in its half-step neighborhood, so lookups never
+// miss the slow side of a material jump between samples.
+type WavelengthProfile struct {
+	model   Model
+	periodS float64
+	dr      float64
+	lam     []float64 // lambda_min at radii i*dr, i in [0, n]
+}
+
+// defaultProfileSamples resolves PREM's thinnest layers (the 14 km
+// lower crust) with several samples on a whole-Earth profile.
+const defaultProfileSamples = 4096
+
+// NewWavelengthProfile samples lambda_min(r) for a model at the given
+// target period on n+1 uniform shells from the center to the surface;
+// n <= 0 selects a default fine enough for PREM's crustal layers.
+func NewWavelengthProfile(m Model, periodS float64, n int) *WavelengthProfile {
+	if n <= 0 {
+		n = defaultProfileSamples
+	}
+	p := &WavelengthProfile{
+		model:   m,
+		periodS: periodS,
+		dr:      m.SurfaceRadius() / float64(n),
+		lam:     make([]float64, n+1),
+	}
+	discs := m.Discontinuities()
+	for i := 0; i <= n; i++ {
+		r := float64(i) * p.dr
+		v := MinVelocityAt(m, r)
+		// Fold in both sides of any discontinuity within half a step:
+		// Model.At at a discontinuity returns the layer below, so probe
+		// the layer above with a nudge of one meter (far below dr).
+		for _, d := range discs {
+			if d >= r-p.dr/2 && d <= r+p.dr/2 {
+				if vb := MinVelocityAt(m, d); vb < v {
+					v = vb
+				}
+				if va := MinVelocityAt(m, d+1); va < v {
+					v = va
+				}
+			}
+		}
+		p.lam[i] = v * periodS
+	}
+	return p
+}
+
+// PeriodS returns the target period the profile was built for.
+func (p *WavelengthProfile) PeriodS() float64 { return p.periodS }
+
+// At returns lambda_min at radius r, clamped to [0, surface]. Between
+// samples it returns the smaller neighbor — a conservative (never
+// optimistic) wavelength for mesh sizing.
+func (p *WavelengthProfile) At(r float64) float64 {
+	if r <= 0 {
+		return p.lam[0]
+	}
+	i := int(r / p.dr)
+	if i >= len(p.lam)-1 {
+		return p.lam[len(p.lam)-1]
+	}
+	if a, b := p.lam[i], p.lam[i+1]; b < a {
+		return b
+	} else {
+		return a
+	}
+}
+
+// MinIn returns the minimum lambda_min over the radius band [lo, hi].
+func (p *WavelengthProfile) MinIn(lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	min := p.At(lo)
+	if v := p.At(hi); v < min {
+		min = v
+	}
+	i0 := int(lo/p.dr) + 1
+	i1 := int(hi / p.dr)
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i1 > len(p.lam)-1 {
+		i1 = len(p.lam) - 1
+	}
+	for i := i0; i <= i1; i++ {
+		if p.lam[i] < min {
+			min = p.lam[i]
+		}
+	}
+	return min
+}

@@ -1,0 +1,84 @@
+package earthmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func wavelengthTestModel() *Homogeneous {
+	h := NewHomogeneous(6371e3, Material{
+		Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+	})
+	h.ICBRadius = 1221.5e3
+	h.CMBRadius = 3480e3
+	return h
+}
+
+func TestMinVelocityUsesShearInSolidsPInFluid(t *testing.T) {
+	m := wavelengthTestModel()
+	if v := MinVelocityAt(m, 5000e3); v != 5500 {
+		t.Errorf("mantle governing velocity %g, want Vs 5500", v)
+	}
+	if v := MinVelocityAt(m, 2000e3); v != 10000 {
+		t.Errorf("fluid-core governing velocity %g, want Vp 10000", v)
+	}
+	if v := MinVelocityAt(m, 800e3); v != 5500 {
+		t.Errorf("inner-core governing velocity %g, want Vs 5500", v)
+	}
+}
+
+func TestWavelengthProfileScalesWithPeriod(t *testing.T) {
+	m := wavelengthTestModel()
+	p1 := NewWavelengthProfile(m, 100, 512)
+	p2 := NewWavelengthProfile(m, 200, 512)
+	for _, r := range []float64{500e3, 2000e3, 5000e3, 6371e3} {
+		if got, want := p2.At(r), 2*p1.At(r); math.Abs(got-want) > 1e-9*want {
+			t.Errorf("lambda(%g) at 200s = %g, want twice the 100s value %g", r, got, p1.At(r))
+		}
+	}
+	if p1.PeriodS() != 100 {
+		t.Errorf("period %g", p1.PeriodS())
+	}
+}
+
+// A sample bracketing a discontinuity must see the slow side: the PREM
+// surface region transitions from mantle S velocities (> 4 km/s) to
+// upper-crust 3.2 km/s, and the CMB drops from fluid-core P (~8 km/s)
+// to D” S velocity (~7.3 km/s) going up.
+func TestWavelengthProfileConservativeAtDiscontinuities(t *testing.T) {
+	prem := NewPREM()
+	const T = 100.0
+	p := NewWavelengthProfile(prem, T, 2048)
+	// Just below the CMB the fluid P wavelength governs; just above,
+	// the slower D'' S wavelength must already be visible at the
+	// bracketing samples so mesh sizing never overshoots.
+	above := MinVelocityAt(prem, PREMCMB+1) * T
+	if lam := p.At(PREMCMB); lam > above+1e-9 {
+		t.Errorf("lambda at CMB %g exceeds the slow (solid) side %g", lam, above)
+	}
+	// MinIn over a band spanning the CMB must not exceed either side.
+	lo, hi := PREMCMB-200e3, PREMCMB+200e3
+	min := p.MinIn(lo, hi)
+	for _, r := range []float64{lo, PREMCMB, PREMCMB + 1, hi} {
+		if lam := MinVelocityAt(prem, r) * T; min > lam+1e-9 {
+			t.Errorf("MinIn(%g, %g) = %g exceeds lambda(%g) = %g", lo, hi, min, r, lam)
+		}
+	}
+}
+
+func TestWavelengthProfileMinIn(t *testing.T) {
+	m := wavelengthTestModel()
+	p := NewWavelengthProfile(m, 50, 1024)
+	// Band entirely in the mantle: constant Vs.
+	if got, want := p.MinIn(4000e3, 6000e3), 5500*50.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mantle MinIn %g, want %g", got, want)
+	}
+	// Band spanning the CMB: the solid side is slower than the fluid.
+	if got, want := p.MinIn(3000e3, 4000e3), 5500*50.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("CMB-spanning MinIn %g, want the solid-side %g", got, want)
+	}
+	// Reversed bounds behave the same.
+	if got, want := p.MinIn(4000e3, 3000e3), p.MinIn(3000e3, 4000e3); got != want {
+		t.Errorf("reversed MinIn %g != %g", got, want)
+	}
+}

@@ -66,3 +66,40 @@ func TestStationLocationComparison(t *testing.T) {
 		t.Error("missing header")
 	}
 }
+
+func TestMeshResolutionComparison(t *testing.T) {
+	r, err := MeshResolution([][2]int{{8, 1}}, []float64{5200e3, 3000e3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want uniform/manual/derived", len(r.Rows))
+	}
+	uni, manual, derived := r.Rows[0], r.Rows[1], r.Rows[2]
+	if uni.Schedule != "uniform" || manual.Schedule != "manual" || derived.Schedule != "derived" {
+		t.Fatalf("row order %s/%s/%s", uni.Schedule, manual.Schedule, derived.Schedule)
+	}
+	// The derived schedule must coarsen at least as a sanity floor
+	// (fewer elements and halo points than uniform) while preserving
+	// the realized minimum resolution of the uniform mesh.
+	if derived.Elements >= uni.Elements {
+		t.Errorf("derived %d elements not below uniform %d", derived.Elements, uni.Elements)
+	}
+	if derived.HaloPoints >= uni.HaloPoints {
+		t.Errorf("derived %d halo points not below uniform %d", derived.HaloPoints, uni.HaloPoints)
+	}
+	if derived.MinPts < uni.MinPts-1e-9 {
+		t.Errorf("derived min pts %.3f below uniform %.3f", derived.MinPts, uni.MinPts)
+	}
+	// Derived radii come from the profile, not the manual list, and the
+	// budget holds on the built mesh.
+	if len(derived.Doublings) == 0 {
+		t.Error("derived row carries no radii")
+	}
+	if derived.MinPts < r.Budget {
+		t.Errorf("derived min pts %.2f below the %.0f budget", derived.MinPts, r.Budget)
+	}
+	if !strings.Contains(r.String(), "MESHRES") {
+		t.Error("missing header")
+	}
+}

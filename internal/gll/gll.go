@@ -6,7 +6,8 @@
 // In a SEM for seismic wave propagation one typically uses polynomial
 // degree N between 4 and 10 on each element (Komatitsch & Tromp 1999);
 // SPECFEM3D_GLOBE and this reproduction use N = 4, i.e. 5 GLL points per
-// element edge and (N+1)^3 = 125 points per hexahedral element.
+// element edge and (N+1)^3 = 125 points per hexahedral element — the
+// 5x5x5 blocks the paper's section 4.3 vector kernels operate on.
 package gll
 
 import (

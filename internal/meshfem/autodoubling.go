@@ -1,0 +1,218 @@
+package meshfem
+
+import (
+	"fmt"
+	"math"
+
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/gll"
+)
+
+// Wavelength-adaptive doubling schedules: instead of hand-typing
+// Config.Doublings, derive the radii from the earth model the way the
+// production SPECFEM3D_GLOBE mesher places its predefined doubling
+// layers — from the velocity profile. The shortest wavelength the mesh
+// must resolve is lambda_min(r) = v_min(r) * T (S velocity in solids, P
+// in the fluid core); the mesh resolves it with
+//
+//	pts(r, nex) = lambda_min(r) / (lateralSize(r, nex) / Degree)
+//
+// lateral GLL points per wavelength. Walking from the surface down,
+// lambda_min grows (velocity rises with depth) while the lateral
+// spacing shrinks with r, so pts climbs — the deep mesh oversamples. A
+// doubling is emitted at the shallowest radius where the HALVED lateral
+// resolution still meets the points-per-wavelength budget everywhere
+// below (equivalently: where the local wavelength has roughly doubled
+// relative to the finest the budget requires), snapped to a nearby
+// model discontinuity when one falls within a stage thickness, and
+// placed only where the conforming-template rules of validateDoublings
+// and planRegionLayers allow (inside a region with margins, no
+// discontinuity inside the two doubling stages, per-slice counts
+// divisible by 4).
+
+// AutoDoubling asks Build to derive Config.Doublings from the model's
+// minimum-wavelength profile. Explicit Config.Doublings always win.
+type AutoDoubling struct {
+	// TargetPeriodS is the shortest period the mesh must resolve, in
+	// seconds; <= 0 selects the paper's rule of thumb 256*17/NEX_XI
+	// (figure 5 caption).
+	TargetPeriodS float64
+	// PointsPerWavelength is the resolution budget; <= 0 selects the
+	// paper's ~5 GLL points per shortest wavelength (section 3).
+	PointsPerWavelength float64
+}
+
+// defaultPointsPerWavelength is the paper's resolution rule.
+const defaultPointsPerWavelength = 5.0
+
+// planSlack is the planner's safety factor on the budget: a built
+// layer can be coarser than the mean lateral size the planner reasons
+// in, because buildRadialNodes rounds the radial subdivision (spacing
+// up to 1.5x the local lateral size) and the tangent-spaced chunk grid
+// concentrates angular spacing at the chunk center (4/pi of the mean).
+// Only the larger of the two effects governs an element, so 1.5 covers
+// both.
+const planSlack = 1.5
+
+// Resolved returns a copy with defaults filled in for a mesh at NEX_XI
+// nexXi: the paper-rule period and the 5 points-per-wavelength budget.
+func (a AutoDoubling) Resolved(nexXi int) AutoDoubling {
+	if a.TargetPeriodS <= 0 {
+		a.TargetPeriodS = PaperResolutionPeriod(nexXi)
+	}
+	if a.PointsPerWavelength <= 0 {
+		a.PointsPerWavelength = defaultPointsPerWavelength
+	}
+	return a
+}
+
+// PlanDoublings derives the doubling radii (descending, meters) for a
+// mesh of the model at NEX_XI nexXi over NPROC_XI nProcXi slices.
+// cubeFrac is the central-cube fraction of Config (0 selects the
+// default 0.5). The returned schedule passes validateDoublings.
+func PlanDoublings(model earthmodel.Model, nexXi, nProcXi int, cubeFrac float64, auto AutoDoubling) ([]float64, error) {
+	if model == nil {
+		return nil, fmt.Errorf("meshfem: auto-doubling needs a model")
+	}
+	if nexXi <= 0 || nProcXi <= 0 || nexXi%nProcXi != 0 {
+		return nil, fmt.Errorf("meshfem: auto-doubling needs NEX %d divisible by NPROC %d", nexXi, nProcXi)
+	}
+	if cubeFrac == 0 {
+		cubeFrac = 0.5
+	}
+	auto = auto.Resolved(nexXi)
+	budget := auto.PointsPerWavelength
+
+	surf := model.SurfaceRadius()
+	icb, cmb := model.ICB(), model.CMB()
+	bounds := []float64{surf, cmb, icb, cubeFrac * icb}
+	if !(icb > 0 && cmb > icb) {
+		bounds = []float64{surf, cubeFrac * surf * 0.3}
+	}
+	floor := bounds[len(bounds)-1]
+	discs := model.Discontinuities()
+
+	prof := earthmodel.NewWavelengthProfile(model, auto.TargetPeriodS, 0)
+	// Lateral GLL points per minimum wavelength at radius r when the
+	// chunk side carries nex elements (an element edge spans Degree GLL
+	// intervals).
+	ptsAt := func(r float64, nex int) float64 {
+		return prof.At(r) / (lateralSize(r, nex) / float64(gll.Degree))
+	}
+	if pts := ptsAt(surf, nexXi); pts < budget {
+		return nil, fmt.Errorf(
+			"meshfem: NEX %d resolves only %.2f lateral points per wavelength at the surface for period %.0fs, below the budget %.1f",
+			nexXi, pts, auto.TargetPeriodS, budget)
+	}
+
+	// pts(r, nex) = lambda(r)/r * nex*Degree/(pi/2), so "the halved
+	// level meets the slack-adjusted budget for every radius from the
+	// planner floor up to r" is a threshold on the running minimum of
+	// lambda(r')/r'. Tabulate that suffix minimum once on the profile
+	// grid (step matches the profile's own resolution).
+	step := surf / float64(4096)
+	n := int(surf/step) + 1
+	minRatioBelow := make([]float64, n) // min of lambda/r over [floor, i*step]
+	runMin := math.Inf(1)
+	for i := 0; i < n; i++ {
+		r := float64(i) * step
+		if r >= floor {
+			if ratio := prof.At(r) / r; ratio < runMin {
+				runMin = ratio
+			}
+		}
+		minRatioBelow[i] = runMin
+	}
+	coverOK := func(r float64, nexHalf int) bool {
+		thresh := budget * planSlack * (math.Pi / 2) / (float64(nexHalf) * float64(gll.Degree))
+		i := int(r / step)
+		if i >= n {
+			i = n - 1
+		}
+		return minRatioBelow[i] >= thresh && ptsAt(r, nexHalf) >= budget*planSlack
+	}
+
+	// validAt reports whether a doubling at radius d with fine count
+	// nex satisfies the placement rules planRegionLayers enforces: d
+	// strictly inside a region, margins against the band top (region
+	// top or previous doubling bottom) and the region bottom, and no
+	// model discontinuity strictly inside the two doubling stages.
+	validAt := func(d float64, nex int, bandTop float64) bool {
+		region := -1
+		for i := 0; i+1 < len(bounds); i++ {
+			if d < bounds[i] && d > bounds[i+1] {
+				region = i
+				break
+			}
+		}
+		if region < 0 {
+			return false
+		}
+		t := dblStageThickness(d, nex)
+		top := bounds[region]
+		if bandTop < top {
+			top = bandTop
+		}
+		if d+t/4 >= top || d-2*t-t/4 <= bounds[region+1] {
+			return false
+		}
+		for _, disc := range discs {
+			if disc > d-2*t && disc < d {
+				return false
+			}
+		}
+		return true
+	}
+
+	var out []float64
+	nex := nexXi
+	cur := surf // top of the current uniform band
+	for {
+		// The conforming templates span 4 fine elements per slice side
+		// and the halved count must stay even (validateDoublings).
+		if per := nex / nProcXi; per%4 != 0 || (nex/2)%2 != 0 {
+			break
+		}
+		emitted := false
+		for r := cur - step; r > floor; r -= step {
+			if !coverOK(r, nex/2) {
+				continue
+			}
+			// Prefer a model discontinuity within one stage thickness
+			// below r (production SPECFEM places its doublings at
+			// predefined layer interfaces); fall back to r itself.
+			d, found := r, validAt(r, nex, cur)
+			t := dblStageThickness(r, nex)
+			snapped := -1.0
+			for _, disc := range discs {
+				if disc <= r && disc >= r-t && disc > snapped && validAt(disc, nex, cur) {
+					snapped = disc
+				}
+			}
+			if snapped > 0 {
+				d, found = snapped, true
+			}
+			if !found {
+				continue
+			}
+			out = append(out, d)
+			cur = d - 2*dblStageThickness(d, nex)
+			nex /= 2
+			emitted = true
+			break
+		}
+		if !emitted {
+			break
+		}
+	}
+
+	// Re-validate through the same rules Build applies to hand-typed
+	// schedules; a failure here is a planner bug, not a config error.
+	if _, err := validateDoublings(Config{
+		NexXi: nexXi, NProcXi: nProcXi, Model: model,
+		CubeFrac: cubeFrac, Doublings: out,
+	}); err != nil {
+		return nil, fmt.Errorf("meshfem: derived schedule invalid: %w", err)
+	}
+	return out, nil
+}

@@ -2,7 +2,9 @@
 // package): it builds the cubed-sphere spectral-element mesh of the
 // whole Earth — crust/mantle, fluid outer core, inner-core shell and
 // inflated central cube, with optional depth-graded lateral resolution
-// through conforming mesh-doubling layers — distributed over
+// through conforming mesh-doubling layers whose radii can be derived
+// from the model's wavelength profile (the paper's section 3 rule of
+// ~5 grid points per shortest wavelength) — distributed over
 // 6*NPROC_XI^2 mesh slices, assigns material properties from a radial
 // Earth model, and derives the fluid-solid coupling faces, free-surface
 // load data and halo communication plans the solver needs.
@@ -39,8 +41,16 @@ type Config struct {
 	// fall strictly inside a region, away from the CMB/ICB/cube
 	// boundaries. At each doubling the fine per-slice element count
 	// (nex/2^level / NProcXi) must be divisible by 4 — the lateral span
-	// of one doubling template. Empty means a single angular resolution.
+	// of one doubling template. Empty means a single angular resolution
+	// unless AutoDoubling is set.
 	Doublings []float64
+	// AutoDoubling, when non-nil and Doublings is empty, derives the
+	// doubling radii from the model's minimum-wavelength profile (see
+	// PlanDoublings): a doubling wherever the local wavelength affords
+	// halving the lateral resolution within the points-per-wavelength
+	// budget. Explicit Doublings always win; the derived schedule is
+	// recorded in the built Globe's Cfg.Doublings.
+	AutoDoubling *AutoDoubling
 	// TwoPassMaterials reproduces the legacy behavior the paper's
 	// section 4.4 removed: the mesher runs twice, once to generate the
 	// geometry and a second time to populate material properties.
@@ -103,6 +113,13 @@ func Build(cfg Config) (*Globe, error) {
 	}
 	if cfg.CubeFrac < 0.1 || cfg.CubeFrac > 0.9 {
 		return nil, fmt.Errorf("meshfem: CubeFrac %g outside [0.1, 0.9]", cfg.CubeFrac)
+	}
+	if len(cfg.Doublings) == 0 && cfg.AutoDoubling != nil {
+		derived, err := PlanDoublings(cfg.Model, cfg.NexXi, cfg.NProcXi, cfg.CubeFrac, *cfg.AutoDoubling)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Doublings = derived
 	}
 	doublings, err := validateDoublings(cfg)
 	if err != nil {

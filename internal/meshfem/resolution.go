@@ -1,0 +1,73 @@
+package meshfem
+
+import (
+	"math"
+
+	"specglobe/internal/earthmodel"
+)
+
+// LayerResolution is the resolution accounting of one radial element
+// layer of the built globe (or of the central cube), at one period:
+// the fewest GLL points per shortest wavelength over the layer's
+// elements on every rank. The per-layer view localizes where a mesh is
+// closest to the points-per-wavelength budget — the governing layer is
+// what the wavelength-adaptive doubling planner must not coarsen past.
+type LayerResolution struct {
+	Region earthmodel.Region
+	// R0, R1 bound the layer radially in meters (the cube row spans
+	// [0, cube radius]).
+	R0, R1 float64
+	// NexXi, NexEta are the chunk-side element counts at the BOTTOM of
+	// the layer (the coarse side of a doubling layer).
+	NexXi, NexEta int
+	// Doubling marks the two conforming transition layers of a
+	// doubling; Cube marks the central-cube pseudo-layer.
+	Doubling, Cube bool
+	// MinPts is the layer's minimum points-per-wavelength.
+	MinPts float64
+}
+
+// LayerResolutions audits every layer of the built globe at the given
+// period, bottom-to-top per region in spec order (crust/mantle first),
+// with the central cube appended to its region. The global minimum over
+// rows equals mesh.ComputeResolutionStats' MinPts for the same period.
+func (g *Globe) LayerResolutions(periodS float64) []LayerResolution {
+	var out []LayerResolution
+	layerMin := func(kind earthmodel.Region, base func(rank int) int, count func(rank int) int) float64 {
+		min := math.Inf(1)
+		for rank := range g.Locals {
+			reg := g.Locals[rank].Regions[kind]
+			b := base(rank)
+			for e := b; e < b+count(rank); e++ {
+				if pts := reg.PtsPerWavelength(e, periodS); pts < min {
+					min = pts
+				}
+			}
+		}
+		return min
+	}
+	for si := range g.specs {
+		sp := &g.specs[si]
+		for li, l := range sp.layers {
+			si, li := si, li
+			out = append(out, LayerResolution{
+				Region: sp.kind, R0: l.r0, R1: l.r1,
+				NexXi: l.botXi(), NexEta: l.botEta(),
+				Doubling: l.kind != layerUniform,
+				MinPts: layerMin(sp.kind,
+					func(int) int { return g.layerBase[si][li] },
+					func(int) int { return g.layerCount[si][li] }),
+			})
+		}
+		if sp.withCube {
+			out = append(out, LayerResolution{
+				Region: sp.kind, R0: 0, R1: g.rcc,
+				NexXi: g.cubeNex, NexEta: g.cubeNex, Cube: true,
+				MinPts: layerMin(sp.kind,
+					func(rank int) int { return g.cubeBase[rank] },
+					func(rank int) int { return len(g.cubeCells[rank]) }),
+			})
+		}
+	}
+	return out
+}

@@ -1,7 +1,8 @@
 // Package sem1d is a self-contained one-dimensional spectral-element
 // solver for the elastic wave equation rho u_tt = (mu u_x)_x on a rod
-// with free (Neumann) ends. It exists as a validation substrate: the
-// exact d'Alembert solution is known, so the GLL quadrature, Lagrange
+// with free (Neumann) ends. It exists as a validation substrate for the
+// numerical core the paper's section 3 solver rests on: the exact
+// d'Alembert solution is known, so the GLL quadrature, Lagrange
 // derivative matrices and explicit Newmark scheme shared with the 3D
 // solver can be verified against analytic wave propagation to high
 // accuracy.

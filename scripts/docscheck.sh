@@ -1,0 +1,46 @@
+#!/bin/sh
+# Documentation hygiene checks, run by the CI docs job and locally via
+#   ./scripts/docscheck.sh
+# 1. gofmt cleanliness,
+# 2. every internal/* package carries a real `// Package ...` comment,
+# 3. every markdown file referenced from doc.go or README.md exists.
+set -u
+fail=0
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "docscheck: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+for dir in internal/*/; do
+    pkg=${dir#internal/}
+    pkg=${pkg%/}
+    found=0
+    for f in "$dir"*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q "^// Package $pkg " "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "docscheck: internal/$pkg has no '// Package $pkg ...' comment" >&2
+        fail=1
+    fi
+done
+
+for src in doc.go README.md; do
+    for ref in $(grep -oE '[A-Za-z0-9_./-]*[A-Za-z0-9_]\.md' "$src" | sort -u); do
+        if [ ! -f "$ref" ]; then
+            echo "docscheck: $src references $ref which does not exist" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "docscheck: ok"
