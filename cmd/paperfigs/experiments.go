@@ -170,6 +170,18 @@ func experimentList() []experiment {
 			},
 		},
 		{
+			id: "KERNROOF", desc: "kernel x workers roofline sweep: steps/s, Gflop/s, AI, % of peak",
+			run: func(quick bool) (fmt.Stringer, error) {
+				boxN, globeNex, steps := 6, 8, 20
+				workers := []int{1, 4}
+				if quick {
+					boxN, steps = 4, 4
+					workers = []int{1}
+				}
+				return experiments.KernRoof(boxN, globeNex, steps, workers)
+			},
+		},
+		{
 			id: "SSE20", desc: "force-kernel variants: vec4 vs scalar vs BLAS",
 			run: func(quick bool) (fmt.Stringer, error) {
 				nex, steps := 8, 10

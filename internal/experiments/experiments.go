@@ -157,6 +157,10 @@ type Fig6Machine struct {
 	LatencyUS        float64
 	LinkBWGBs        float64
 	Pred12K, Pred62K float64 // seconds per core
+	// PctOfPeak is the roofline-sustained compute fraction the machine
+	// model predicts for the solver (min of the efficiency and bandwidth
+	// ceilings over the raw peak).
+	PctOfPeak float64
 }
 
 // Fig6Result reproduces figure 6.
@@ -220,8 +224,9 @@ func Fig6(nexList []int, nprocList []int, steps int) (*Fig6Result, error) {
 		mf := fit.ForMachine(m)
 		out.PerMachine = append(out.PerMachine, Fig6Machine{
 			Name: m.Name, LatencyUS: m.LatencyUS, LinkBWGBs: m.LinkBWGBs,
-			Pred12K: mf.PerCoreComm(12150, 1440),
-			Pred62K: mf.PerCoreComm(62000, 4848),
+			Pred12K:   mf.PerCoreComm(12150, 1440),
+			Pred62K:   mf.PerCoreComm(62000, 4848),
+			PctOfPeak: 100 * m.SustainedGflopsPerCore() / m.PeakGflopsPerCore,
 		})
 	}
 	return out, nil
@@ -242,8 +247,8 @@ func (r *Fig6Result) String() string {
 	if len(r.PerMachine) > 0 {
 		fmt.Fprintf(&b, "  per machine (latency scales the P term, bandwidth the res^2*sqrt(P) term):\n")
 		for _, m := range r.PerMachine {
-			fmt.Fprintf(&b, "    %-9s %4.1fus %5.2fGB/s  %.3g s/core at 12K, %.3g s/core at 62K\n",
-				m.Name, m.LatencyUS, m.LinkBWGBs, m.Pred12K, m.Pred62K)
+			fmt.Fprintf(&b, "    %-9s %4.1fus %5.2fGB/s  %.3g s/core at 12K, %.3g s/core at 62K, sustains %.0f%% of peak\n",
+				m.Name, m.LatencyUS, m.LinkBWGBs, m.Pred12K, m.Pred62K, m.PctOfPeak)
 		}
 	}
 	return b.String()

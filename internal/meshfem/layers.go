@@ -275,22 +275,30 @@ func estimatedShortestPeriod(model earthmodel.Model, specs []regionSpec) float64
 	const pointsPerWavelength = 5.0
 	worst := 0.0
 	// GLL points divide an element edge into NGLL-1 intervals; the
-	// average interval is edge/(NGLL-1). Use the average (the standard
-	// resolution rule), not the smallest. Doubling layers evaluate at
-	// their coarse (bottom) counts — the conservative side.
+	// average interval is edge/(NGLL-1) (the standard resolution rule).
+	// Per layer this matches the element-wise audit's conservative view
+	// (Globe.LayerResolutions): the slowest material at any of the
+	// layer's radial GLL nodes — the mesher samples the model exactly
+	// there, so with a within-layer velocity gradient (the thick crustal
+	// layers most of all) a single midpoint probe is optimistic —
+	// against the coarsest lateral spacing, which sits at the layer TOP
+	// where shells are widest. Doubling layers evaluate at their coarse
+	// (bottom) counts.
+	nodes := gll.Points(gll.Degree)
 	for _, sp := range specs {
 		for _, l := range sp.layers {
-			rMid := 0.5 * (l.r0 + l.r1)
-			m := model.At(rMid)
-			vMin := m.Vs
-			if vMin == 0 {
-				vMin = m.Vp
+			vMin := math.Inf(1)
+			for _, xi := range nodes {
+				r := l.r0 + 0.5*(xi+1)*(l.r1-l.r0)
+				if v := earthmodel.MinVelocityAt(model, r); v < vMin {
+					vMin = v
+				}
 			}
 			nexMin := l.botXi()
 			if be := l.botEta(); be < nexMin {
 				nexMin = be
 			}
-			dxLat := lateralSize(rMid, nexMin) / float64(gll.Degree)
+			dxLat := lateralSize(l.r1, nexMin) / float64(gll.Degree)
 			dxRad := (l.r1 - l.r0) / float64(gll.Degree)
 			dx := math.Max(dxLat, dxRad)
 			if t := pointsPerWavelength * dx / vMin; t > worst {

@@ -63,12 +63,13 @@ func (p Phase) String() string {
 	return fmt.Sprintf("Phase(%d)", int(p))
 }
 
-// Profiler accumulates per-rank timings and flop counts. It is not
+// Profiler accumulates per-rank timings and flop/byte counts. It is not
 // concurrency-safe: each rank owns one Profiler.
 type Profiler struct {
 	Rank    int
 	phases  [numPhases]time.Duration
-	flops   int64
+	flops   [numPhases]int64
+	bytes   [numPhases]int64
 	started time.Time
 	total   time.Duration
 }
@@ -93,11 +94,38 @@ func (p *Profiler) Time(ph Phase, f func()) {
 // Add charges a duration measured externally (e.g. by the mpi runtime).
 func (p *Profiler) Add(ph Phase, d time.Duration) { p.phases[ph] += d }
 
-// AddFlops counts floating-point operations performed.
-func (p *Profiler) AddFlops(n int64) { p.flops += n }
+// AddFlops counts floating-point operations performed, attributed to a
+// phase so per-phase arithmetic intensity can be formed against the
+// matching AddBytes traffic.
+func (p *Profiler) AddFlops(ph Phase, n int64) { p.flops[ph] += n }
 
-// Flops returns the accumulated operation count.
-func (p *Profiler) Flops() int64 { return p.flops }
+// AddBytes counts memory traffic (the analytic streamed-byte model of
+// ByteCounts), attributed to a phase.
+func (p *Profiler) AddBytes(ph Phase, n int64) { p.bytes[ph] += n }
+
+// Flops returns the accumulated operation count over all phases.
+func (p *Profiler) Flops() int64 {
+	var t int64
+	for _, n := range p.flops {
+		t += n
+	}
+	return t
+}
+
+// Bytes returns the accumulated traffic count over all phases.
+func (p *Profiler) Bytes() int64 {
+	var t int64
+	for _, n := range p.bytes {
+		t += n
+	}
+	return t
+}
+
+// PhaseFlops returns the operation count attributed to one phase.
+func (p *Profiler) PhaseFlops(ph Phase) int64 { return p.flops[ph] }
+
+// PhaseBytes returns the traffic attributed to one phase.
+func (p *Profiler) PhaseBytes(ph Phase) int64 { return p.bytes[ph] }
 
 // PhaseTime returns the accumulated time in a phase.
 func (p *Profiler) PhaseTime(ph Phase) time.Duration { return p.phases[ph] }
@@ -131,8 +159,15 @@ type Report struct {
 	// overlap schedule hid behind computation (zero for the blocking
 	// schedule).
 	HiddenCommTime time.Duration
+	// PhaseFlops and PhaseBytes sum the per-phase operation and
+	// analytic traffic counts over all ranks; their ratio per phase is
+	// the arithmetic intensity the roofline model consumes.
+	PhaseFlops map[string]int64
+	PhaseBytes map[string]int64
 	// TotalFlops sums flops over ranks.
 	TotalFlops int64
+	// TotalBytes sums the analytic byte traffic over ranks.
+	TotalBytes int64
 	// SustainedFlops is TotalFlops / WallTime in flop/s.
 	SustainedFlops float64
 	// Workers and WorkerBusy describe the shared kernel worker pool of
@@ -165,9 +200,23 @@ func (r Report) TotalCommTime() time.Duration {
 	return r.PhaseTotals[PhaseComm.String()] + r.PhaseTotals[PhaseCommHidden.String()]
 }
 
+// ArithmeticIntensity returns flop-per-byte for one phase name, or 0
+// when no traffic was attributed to it.
+func (r Report) ArithmeticIntensity(phase string) float64 {
+	if b := r.PhaseBytes[phase]; b > 0 {
+		return float64(r.PhaseFlops[phase]) / float64(b)
+	}
+	return 0
+}
+
 // Aggregate builds a report from per-rank profilers.
 func Aggregate(profs []*Profiler) Report {
-	r := Report{Ranks: len(profs), PhaseTotals: map[string]time.Duration{}}
+	r := Report{
+		Ranks:       len(profs),
+		PhaseTotals: map[string]time.Duration{},
+		PhaseFlops:  map[string]int64{},
+		PhaseBytes:  map[string]int64{},
+	}
 	for _, p := range profs {
 		if p.total > r.WallTime {
 			r.WallTime = p.total
@@ -175,8 +224,11 @@ func Aggregate(profs []*Profiler) Report {
 		r.TotalTime += p.total
 		for ph := Phase(0); ph < numPhases; ph++ {
 			r.PhaseTotals[ph.String()] += p.phases[ph]
+			r.PhaseFlops[ph.String()] += p.flops[ph]
+			r.PhaseBytes[ph.String()] += p.bytes[ph]
 		}
-		r.TotalFlops += p.flops
+		r.TotalFlops += p.Flops()
+		r.TotalBytes += p.Bytes()
 	}
 	r.HiddenCommTime = r.PhaseTotals[PhaseCommHidden.String()]
 	for name, d := range r.PhaseTotals {
@@ -322,5 +374,97 @@ func DefaultFlopCounts() FlopCounts {
 		OceanPoint: 5 + 2 + 3*2,
 		// stf × arr + accumulate per component.
 		SourcePoint: 3 * 2,
+	}
+}
+
+// ByteCounts is the analytic streamed-traffic model paired with
+// FlopCounts: for each accounted sweep, the bytes that move through the
+// memory hierarchy per element (or per point) per step, assuming every
+// array touched is streamed once per stage (reads and writes both
+// count; read-modify-write counts twice). This deliberately counts
+// SCRATCH streams as well as global-array gather/scatter traffic — the
+// per-element blocks really are read and written once per stage by the
+// unfused kernels — so the ratio FlopCounts/ByteCounts is the
+// arithmetic intensity of the code as structured, the quantity a
+// roofline positions against a machine's peak and bandwidth. It is a
+// per-stage streaming model, not a cache-miss prediction: blocks that
+// stay L1-resident between stages make the effective DRAM traffic
+// lower, which is exactly the headroom the fused kernel converts into
+// speed. (Distinct from perfmodel.ArithmeticIntensity = 0.36 flop/byte,
+// the paper-calibrated whole-application constant.)
+//
+// All counts are derived from the canonical (unfused) kernel pipeline
+// so they are variant-independent, like FlopCounts.
+type ByteCounts struct {
+	SolidElement int64 // force kernel, per solid element per step
+	FluidElement int64 // force kernel, per fluid element per step
+	// AttenuationMech is the extra solid-element traffic per SLS
+	// mechanism: six memory-variable arrays read-modify-written.
+	AttenuationMech int64
+
+	SolidPredictor int64 // per solid grid point per step
+	FluidPredictor int64 // per fluid grid point per step
+	SolidMassDiv   int64 // per solid grid point per step
+	FluidMassDiv   int64 // per fluid grid point per step
+	SolidCorrector int64 // per solid grid point per step
+	FluidCorrector int64 // per fluid grid point per step
+	Coriolis       int64 // per solid point per step, when rotation is on
+	Gravity        int64 // per solid point per step, when gravity is on
+
+	CouplePoint   int64 // per boundary-face GLL point per step
+	TractionPoint int64 // per boundary-face GLL point per step
+	OceanPoint    int64 // per surface point per step
+	SourcePoint   int64 // per element point per active source step
+}
+
+// DefaultByteCounts returns the streamed-traffic model for the NGLL=5
+// kernels with float32 arrays and int32 connectivity (4 bytes each).
+func DefaultByteCounts() ByteCounts {
+	const (
+		f32   = 4
+		ngll3 = 125
+	)
+	return ByteCounts{
+		// Solid element, five stages, in 125-float block streams:
+		//   gather    ibool r + 3 displacement r + 3 scratch w      =  7
+		//   grad      3 scratch r + 9 t w                           = 12
+		//   pointwise 9 t r + 12 property r (9 metrics, Jac, mu,
+		//             kappa) + 9 s w                                = 30
+		//   gradT     9 s r + 9 t w                                 = 18
+		//   scatter   9 t r + 3 weight r + ibool r + 3 accel rmw    = 19
+		SolidElement: int64(ngll3 * f32 * (7 + 12 + 30 + 18 + 19)),
+		// Fluid element, same stages for one scalar field:
+		//   gather 3, grad 4 (1 r + 3 w), pointwise 17 (3 t r + 11
+		//   property r + 3 s w), gradT 6, scatter 9 (3 t r + 3
+		//   weight r + ibool r + chiDdot rmw).
+		FluidElement: int64(ngll3 * f32 * (3 + 4 + 17 + 6 + 9)),
+		// Per SLS mechanism: six r arrays read-modify-written.
+		AttenuationMech: int64(ngll3 * f32 * (6 * 2)),
+
+		// Newmark predictor: d rmw, v rmw, a r then zeroed (r+w) per
+		// component — 6 streams/component; one component for the fluid.
+		SolidPredictor: 3 * 6 * f32,
+		FluidPredictor: 6 * f32,
+		// a rmw per component + one shared inverse-mass read.
+		SolidMassDiv: (3*2 + 1) * f32,
+		FluidMassDiv: (2 + 1) * f32,
+		// v rmw + a read per component.
+		SolidCorrector: 3 * 3 * f32,
+		FluidCorrector: 3 * f32,
+		// Coriolis: v r (2) + a rmw (4). Gravity: d r (3) + g-table
+		// r (2) + a rmw (6).
+		Coriolis: 6 * f32,
+		Gravity:  11 * f32,
+
+		// Coupling: 3 displacement r + 3 normal r + weight r + point
+		// indices (2 int32) + chiDdot rmw.
+		CouplePoint: (3 + 3 + 1 + 2 + 2) * f32,
+		// Traction: chiDdot r + 3 normal r + weight r + indices +
+		// 3 accel rmw.
+		TractionPoint: (1 + 3 + 1 + 2 + 3*2) * f32,
+		// Ocean load: 3 accel rmw + normal r (3) + rescale table r.
+		OceanPoint: (3*2 + 3 + 1) * f32,
+		// Source: 3 accel rmw + source-array r (3).
+		SourcePoint: (3*2 + 3) * f32,
 	}
 }

@@ -13,7 +13,8 @@ func TestProfilerPhases(t *testing.T) {
 	p.Time(PhaseForceSolid, func() { time.Sleep(2 * time.Millisecond) })
 	p.Time(PhaseComm, func() { time.Sleep(1 * time.Millisecond) })
 	p.Add(PhaseUpdate, 5*time.Millisecond)
-	p.AddFlops(1000)
+	p.AddFlops(PhaseForceSolid, 1000)
+	p.AddBytes(PhaseForceSolid, 4000)
 	p.Stop()
 	if p.Rank != 3 {
 		t.Error("rank lost")
@@ -27,6 +28,12 @@ func TestProfilerPhases(t *testing.T) {
 	if p.Flops() != 1000 {
 		t.Error("flops lost")
 	}
+	if p.PhaseFlops(PhaseForceSolid) != 1000 || p.PhaseFlops(PhaseUpdate) != 0 {
+		t.Error("per-phase flops misattributed")
+	}
+	if p.Bytes() != 4000 || p.PhaseBytes(PhaseForceSolid) != 4000 {
+		t.Error("bytes lost")
+	}
 	if p.Total() < 3*time.Millisecond {
 		t.Errorf("total %v too small", p.Total())
 	}
@@ -38,7 +45,7 @@ func TestAggregate(t *testing.T) {
 		p.total = wall
 		p.phases[PhaseComm] = comm
 		p.phases[PhaseForceSolid] = wall - comm
-		p.flops = flops
+		p.flops[PhaseForceSolid] = flops
 		return p
 	}
 	r := Aggregate([]*Profiler{
@@ -70,7 +77,7 @@ func TestAggregate(t *testing.T) {
 func TestReportString(t *testing.T) {
 	p := NewProfiler(0)
 	p.Start()
-	p.AddFlops(12345)
+	p.AddFlops(PhaseForceSolid, 12345)
 	p.Stop()
 	s := Aggregate([]*Profiler{p}).String()
 	for _, want := range []string{"1 ranks", "comm frac", "12345"} {
@@ -89,7 +96,7 @@ func TestCollectorConcurrent(t *testing.T) {
 			defer wg.Done()
 			p := NewProfiler(rank)
 			p.Start()
-			p.AddFlops(int64(rank))
+			p.AddFlops(PhaseForceSolid, int64(rank))
 			p.Stop()
 			c.Put(p)
 		}(r)
@@ -176,6 +183,68 @@ func TestPhaseNames(t *testing.T) {
 	}
 	if Phase(99).String() == "" {
 		t.Error("unknown phase should format")
+	}
+}
+
+func TestDefaultByteCounts(t *testing.T) {
+	bc := DefaultByteCounts()
+	for name, v := range map[string]int64{
+		"SolidElement":    bc.SolidElement,
+		"FluidElement":    bc.FluidElement,
+		"AttenuationMech": bc.AttenuationMech,
+		"SolidPredictor":  bc.SolidPredictor,
+		"FluidPredictor":  bc.FluidPredictor,
+		"SolidMassDiv":    bc.SolidMassDiv,
+		"FluidMassDiv":    bc.FluidMassDiv,
+		"SolidCorrector":  bc.SolidCorrector,
+		"FluidCorrector":  bc.FluidCorrector,
+		"Coriolis":        bc.Coriolis,
+		"Gravity":         bc.Gravity,
+		"CouplePoint":     bc.CouplePoint,
+		"TractionPoint":   bc.TractionPoint,
+		"OceanPoint":      bc.OceanPoint,
+		"SourcePoint":     bc.SourcePoint,
+	} {
+		if v <= 0 {
+			t.Errorf("non-positive byte count %s", name)
+		}
+	}
+	// Solid elements stream three fields where fluid streams one; the
+	// per-element traffic ratio should sit in the same 2-4x band as the
+	// flop ratio.
+	ratio := float64(bc.SolidElement) / float64(bc.FluidElement)
+	if ratio < 1.5 || ratio > 4 {
+		t.Errorf("solid/fluid byte ratio %v implausible", ratio)
+	}
+	// The solid element kernel should land near the paper's ~0.4 flop/byte
+	// regime (section 5 quotes 0.36 for the whole app); the kernel alone
+	// is denser but must stay the same order of magnitude.
+	ai := float64(DefaultFlopCounts().SolidElement) / float64(bc.SolidElement)
+	if ai < 0.3 || ai > 3 {
+		t.Errorf("solid element AI %v outside plausible SEM range", ai)
+	}
+}
+
+func TestReportArithmeticIntensity(t *testing.T) {
+	p := NewProfiler(0)
+	p.Start()
+	p.AddFlops(PhaseForceSolid, 9000)
+	p.AddBytes(PhaseForceSolid, 3000)
+	p.AddFlops(PhaseUpdate, 10)
+	p.Stop()
+	r := Aggregate([]*Profiler{p})
+	if ai := r.ArithmeticIntensity(PhaseForceSolid.String()); ai < 2.999 || ai > 3.001 {
+		t.Errorf("AI %v want 3", ai)
+	}
+	// Zero bytes recorded: AI is undefined, must return 0 not Inf.
+	if ai := r.ArithmeticIntensity(PhaseUpdate.String()); ai != 0 {
+		t.Errorf("AI with no bytes %v want 0", ai)
+	}
+	if r.TotalBytes != 3000 {
+		t.Errorf("total bytes %d", r.TotalBytes)
+	}
+	if r.PhaseFlops[PhaseForceSolid.String()] != 9000 {
+		t.Errorf("phase flops map %v", r.PhaseFlops)
 	}
 }
 

@@ -230,3 +230,60 @@ func TestHumanBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestRooflineFor(t *testing.T) {
+	m := Machine{Name: "toy", PeakGflopsPerCore: 10, MemBWPerCoreGBs: 5}
+	// Memory-bound: AI 0.5 flop/B caps the ceiling at 0.5*5 = 2.5 Gflop/s.
+	p := RooflineFor(m, 1, 1e9, 2e9, 1.0)
+	if p.BoundBy != "memory" {
+		t.Errorf("bound by %q want memory", p.BoundBy)
+	}
+	if math.Abs(p.CeilingGflops-2.5) > 1e-9 {
+		t.Errorf("ceiling %v want 2.5", p.CeilingGflops)
+	}
+	if math.Abs(p.PctOfPeak-10) > 1e-9 {
+		t.Errorf("pct of peak %v want 10", p.PctOfPeak)
+	}
+	if math.Abs(p.PctOfRoofline-40) > 1e-9 {
+		t.Errorf("pct of roofline %v want 40", p.PctOfRoofline)
+	}
+	// Compute-bound: AI 4 flop/B lifts the bandwidth ceiling above peak.
+	p = RooflineFor(m, 2, 8e9, 2e9, 1.0)
+	if p.BoundBy != "compute" || math.Abs(p.CeilingGflops-20) > 1e-9 {
+		t.Errorf("compute bound point wrong: %+v", p)
+	}
+	if math.Abs(p.PctOfPeak-p.PctOfRoofline) > 1e-9 {
+		t.Error("compute bound: pct of peak must equal pct of roofline")
+	}
+	// Degenerate inputs must not divide by zero.
+	z := RooflineFor(m, 1, 0, 0, 0)
+	if z.AchievedGflops != 0 || z.FlopPerByte != 0 {
+		t.Errorf("degenerate point %+v", z)
+	}
+	if s := p.String(); !strings.Contains(s, "% of peak") {
+		t.Errorf("annotation %q", s)
+	}
+}
+
+func TestMeasureLocalMachine(t *testing.T) {
+	m := MeasureLocalMachine()
+	if m.Name != "local-measured" {
+		t.Errorf("name %q", m.Name)
+	}
+	// Any real host manages at least 0.1 Gflop/s and 0.1 GB/s per core,
+	// and below 10 Tflop/s / 10 TB/s on one core.
+	if m.PeakGflopsPerCore < 0.1 || m.PeakGflopsPerCore > 1e4 {
+		t.Errorf("implausible peak %v Gflop/s", m.PeakGflopsPerCore)
+	}
+	if m.MemBWPerCoreGBs < 0.1 || m.MemBWPerCoreGBs > 1e4 {
+		t.Errorf("implausible bandwidth %v GB/s", m.MemBWPerCoreGBs)
+	}
+	// Cached: the second call must return the identical measurement.
+	if m2 := MeasureLocalMachine(); m2 != m {
+		t.Error("measurement not cached")
+	}
+	cat := CatalogWithLocal()
+	if cat[len(cat)-1].Name != "local-measured" {
+		t.Error("catalog missing local entry")
+	}
+}

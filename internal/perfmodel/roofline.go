@@ -1,0 +1,187 @@
+package perfmodel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Roofline analysis (Williams, Waterman & Patterson 2009) for measured
+// kernel phases: given a phase's exact flop count, analytic byte
+// traffic and wall time, position its achieved flop rate against a
+// machine's compute peak and the bandwidth ceiling its arithmetic
+// intensity allows. The paper's section 5 sustained-performance model
+// is the same construction with fixed constants (CPUEfficiency,
+// ArithmeticIntensity); here the intensity comes from the live
+// per-phase counters of internal/perf, so each BENCH row can report
+// what fraction of the attainable ceiling it actually reached.
+
+// RooflinePoint positions one measured phase on a machine's roofline.
+type RooflinePoint struct {
+	// FlopPerByte is the measured arithmetic intensity (x coordinate).
+	FlopPerByte float64
+	// AchievedGflops is flops/seconds (y coordinate).
+	AchievedGflops float64
+	// PeakGflops is the machine's compute peak over the given cores.
+	PeakGflops float64
+	// BWGBs is the machine's memory bandwidth over the given cores.
+	BWGBs float64
+	// CeilingGflops is the attainable rate at this intensity:
+	// min(PeakGflops, FlopPerByte * BWGBs).
+	CeilingGflops float64
+	// PctOfPeak is AchievedGflops over PeakGflops, in percent.
+	PctOfPeak float64
+	// PctOfRoofline is AchievedGflops over CeilingGflops, in percent —
+	// how much of the attainable ceiling the phase reached.
+	PctOfRoofline float64
+	// BoundBy is "memory" when the bandwidth ceiling is the binding
+	// one at this intensity, else "compute".
+	BoundBy string
+}
+
+// RooflineFor evaluates the roofline for a measured phase: flops and
+// bytes are the phase's counted totals, seconds its busy time, and the
+// machine/cores pair sets the ceilings.
+func RooflineFor(m Machine, cores int, flops, bytes int64, seconds float64) RooflinePoint {
+	p := RooflinePoint{
+		PeakGflops: m.PeakGflopsPerCore * float64(cores),
+		BWGBs:      m.MemBWPerCoreGBs * float64(cores),
+	}
+	if bytes > 0 {
+		p.FlopPerByte = float64(flops) / float64(bytes)
+	}
+	if seconds > 0 {
+		p.AchievedGflops = float64(flops) / seconds / 1e9
+	}
+	p.CeilingGflops = p.PeakGflops
+	p.BoundBy = "compute"
+	if bw := p.FlopPerByte * p.BWGBs; bw > 0 && bw < p.CeilingGflops {
+		p.CeilingGflops = bw
+		p.BoundBy = "memory"
+	}
+	if p.PeakGflops > 0 {
+		p.PctOfPeak = 100 * p.AchievedGflops / p.PeakGflops
+	}
+	if p.CeilingGflops > 0 {
+		p.PctOfRoofline = 100 * p.AchievedGflops / p.CeilingGflops
+	}
+	return p
+}
+
+// String renders the point as a compact roofline annotation.
+func (p RooflinePoint) String() string {
+	return fmt.Sprintf("%.2f flop/B, %.2f Gflop/s = %.1f%% of peak, %.1f%% of %s roofline",
+		p.FlopPerByte, p.AchievedGflops, p.PctOfPeak, p.PctOfRoofline, p.BoundBy)
+}
+
+var (
+	localOnce    sync.Once
+	localMachine Machine
+)
+
+// MeasureLocalMachine returns a catalog entry for the host this process
+// runs on, with the compute peak and memory bandwidth measured by short
+// microbenchmarks (one core each; scale by cores in RooflineFor). The
+// measurement runs once and is cached for the process lifetime.
+func MeasureLocalMachine() Machine {
+	localOnce.Do(func() {
+		localMachine = Machine{
+			Name: "local-measured", Site: "this host",
+			TotalCores:        runtime.NumCPU(),
+			PeakGflopsPerCore: measurePeakGflops(),
+			MemBWPerCoreGBs:   measureTriadGBs(),
+			MemPerCoreGB:      1, // not measured; unused by the roofline
+		}
+	})
+	return localMachine
+}
+
+// CatalogWithLocal extends the paper's machine catalog with the
+// measured entry for this host.
+func CatalogWithLocal() []Machine {
+	return append(Catalog(), MeasureLocalMachine())
+}
+
+// measureSink defeats dead-code elimination in the microbenchmarks.
+var measureSink float32
+
+// measurePeakGflops estimates the single-core float32 compute peak
+// proxy: a mul-add chain over eight independent accumulators, so the
+// loop is bound by arithmetic throughput rather than the latency of
+// any one dependency chain. This measures what straight-line scalar
+// code can attain — the relevant ceiling for the Go kernels, which the
+// compiler does not auto-vectorize.
+func measurePeakGflops() float64 {
+	peakChain(1 << 16) // warm up
+	const iters = 1 << 23
+	t0 := time.Now()
+	measureSink = peakChain(iters)
+	sec := time.Since(t0).Seconds()
+	if sec <= 0 {
+		return 1
+	}
+	return float64(iters) * 16 * 2 / sec / 1e9
+}
+
+// peakChain runs iters rounds of sixteen independent mul-add chains.
+// The accumulators are plain locals of a leaf function so they stay in
+// registers — a closure would capture them by reference and turn every
+// statement into a memory round trip, halving the measured peak.
+func peakChain(iters int) float32 {
+	var a0, a1, a2, a3, a4, a5, a6, a7 float32 = 1, 1, 1, 1, 1, 1, 1, 1
+	var b0, b1, b2, b3, b4, b5, b6, b7 float32 = 1, 1, 1, 1, 1, 1, 1, 1
+	const x = float32(1.0000001)
+	for i := 0; i < iters; i++ {
+		a0 = a0*x + 1e-9
+		a1 = a1*x + 1e-9
+		a2 = a2*x + 1e-9
+		a3 = a3*x + 1e-9
+		a4 = a4*x + 1e-9
+		a5 = a5*x + 1e-9
+		a6 = a6*x + 1e-9
+		a7 = a7*x + 1e-9
+		b0 = b0*x + 1e-9
+		b1 = b1*x + 1e-9
+		b2 = b2*x + 1e-9
+		b3 = b3*x + 1e-9
+		b4 = b4*x + 1e-9
+		b5 = b5*x + 1e-9
+		b6 = b6*x + 1e-9
+		b7 = b7*x + 1e-9
+	}
+	return a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7 +
+		b0 + b1 + b2 + b3 + b4 + b5 + b6 + b7
+}
+
+// measureTriadGBs estimates single-core sustainable memory bandwidth
+// with a STREAM-style triad over arrays well beyond cache size,
+// counting two reads and one write per element.
+func measureTriadGBs() float64 {
+	const n = 1 << 23 // 8M float32 = 32 MB per array
+	a := make([]float32, n)
+	b := make([]float32, n)
+	c := make([]float32, n)
+	for i := range b {
+		b[i] = float32(i%7) * 0.25
+		c[i] = float32(i%11) * 0.5
+	}
+	s := float32(1.5)
+	triad := func() {
+		for i := range a {
+			a[i] = b[i] + s*c[i]
+		}
+	}
+	triad() // warm up (and fault the pages of a)
+	const reps = 3
+	t0 := time.Now()
+	for r := 0; r < reps; r++ {
+		triad()
+	}
+	sec := time.Since(t0).Seconds()
+	measureSink += a[n-1]
+	if sec <= 0 {
+		return 1
+	}
+	return float64(reps) * n * 12 / sec / 1e9
+}

@@ -1,0 +1,238 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFusedKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := testMatrix()
+	for trial := 0; trial < 20; trial++ {
+		u := randBlock(rng)
+		d1 := make([]float32, PadLen)
+		d2 := make([]float32, PadLen)
+		d3 := make([]float32, PadLen)
+		GradFused(m, u, d1, d2, d3)
+		for dir, got := range map[int][]float32{1: d1, 2: d2, 3: d3} {
+			if d := maxDiff(got, refD(dir, m, u)); d > 1e-5 {
+				t.Fatalf("fused dir %d: max diff %g", dir, d)
+			}
+		}
+	}
+}
+
+// The fused gradient keeps the scalar kernels' ascending-l summation
+// order in every direction, so it must agree with GradScalar exactly,
+// not just to tolerance.
+func TestFusedGradBitIdenticalToScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := testMatrix()
+	for trial := 0; trial < 50; trial++ {
+		u := randBlock(rng)
+		s1 := make([]float32, PadLen)
+		s2 := make([]float32, PadLen)
+		s3 := make([]float32, PadLen)
+		f1 := make([]float32, PadLen)
+		f2 := make([]float32, PadLen)
+		f3 := make([]float32, PadLen)
+		GradScalar(m, u, s1, s2, s3)
+		GradFused(m, u, f1, f2, f3)
+		for dir, pair := range map[int][2][]float32{1: {s1, f1}, 2: {s2, f2}, 3: {s3, f3}} {
+			for i := 0; i < BlockLen; i++ {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("fused dir %d: not bit-identical to scalar at %d: %g vs %g",
+						dir, i, pair[1][i], pair[0][i])
+				}
+			}
+		}
+	}
+}
+
+// The batch entry must treat each padded block independently: a panel of
+// E blocks gives the same answers as E single-block calls.
+func TestApplyDGradBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := testMatrix()
+	const n = 4
+	u := make([]float32, n*PadLen)
+	for e := 0; e < n; e++ {
+		copy(u[e*PadLen:], randBlock(rng))
+	}
+	d1 := make([]float32, n*PadLen)
+	d2 := make([]float32, n*PadLen)
+	d3 := make([]float32, n*PadLen)
+	ApplyDGradBatch(m, u, d1, d2, d3, n)
+	for e := 0; e < n; e++ {
+		b := e * PadLen
+		e1 := make([]float32, PadLen)
+		e2 := make([]float32, PadLen)
+		e3 := make([]float32, PadLen)
+		GradFused(m, u[b:b+PadLen], e1, e2, e3)
+		for dir, pair := range map[int][2][]float32{
+			1: {e1, d1[b : b+PadLen]}, 2: {e2, d2[b : b+PadLen]}, 3: {e3, d3[b : b+PadLen]},
+		} {
+			for i := 0; i < BlockLen; i++ {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("batch block %d dir %d differs from single at %d", e, dir, i)
+				}
+			}
+		}
+	}
+}
+
+// GradTWeightedFused(out) must equal f1*D(s1) + f2*D(s2) + f3*D(s3)
+// computed the unfused way (three separate applies, then the weighted
+// pointwise combination) to roundoff.
+func TestGradTWeightedFusedMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := testMatrix()
+	for trial := 0; trial < 20; trial++ {
+		s1 := randBlock(rng)
+		s2 := randBlock(rng)
+		s3 := randBlock(rng)
+		f1 := randBlock(rng)
+		f2 := randBlock(rng)
+		f3 := randBlock(rng)
+		t1 := make([]float32, PadLen)
+		t2 := make([]float32, PadLen)
+		t3 := make([]float32, PadLen)
+		ApplyD1Scalar(m, s1, t1)
+		ApplyD2Scalar(m, s2, t2)
+		ApplyD3Scalar(m, s3, t3)
+		want := make([]float32, PadLen)
+		for p := 0; p < BlockLen; p++ {
+			want[p] = f1[p]*t1[p] + f2[p]*t2[p] + f3[p]*t3[p]
+		}
+		got := make([]float32, PadLen)
+		GradTWeightedFused(m, s1, s2, s3, f1, f2, f3, got)
+		if d := maxDiff(got, want); d > 1e-5 {
+			t.Fatalf("weighted fused transpose: max diff %g", d)
+		}
+	}
+}
+
+// Property: fused agrees with scalar on random matrices, not just the
+// GLL derivative matrix.
+func TestFusedAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m Matrix
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] = rng.Float32()*2 - 1
+			}
+		}
+		u := randBlock(rng)
+		s1 := make([]float32, PadLen)
+		s2 := make([]float32, PadLen)
+		s3 := make([]float32, PadLen)
+		g1 := make([]float32, PadLen)
+		g2 := make([]float32, PadLen)
+		g3 := make([]float32, PadLen)
+		GradScalar(&m, u, s1, s2, s3)
+		GradFused(&m, u, g1, g2, g3)
+		return maxDiff(s1, g1) < 1e-5 && maxDiff(s2, g2) < 1e-5 && maxDiff(s3, g3) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFusedConstantBlockHasZeroGradient(t *testing.T) {
+	m := testMatrix()
+	u := make([]float32, PadLen)
+	for i := 0; i < BlockLen; i++ {
+		u[i] = 7.5
+	}
+	d1 := make([]float32, PadLen)
+	d2 := make([]float32, PadLen)
+	d3 := make([]float32, PadLen)
+	GradFused(m, u, d1, d2, d3)
+	for i := 0; i < BlockLen; i++ {
+		if math.Abs(float64(d1[i])) > 1e-4 || math.Abs(float64(d2[i])) > 1e-4 || math.Abs(float64(d3[i])) > 1e-4 {
+			t.Fatalf("fused gradient of constant not zero at %d: %g %g %g", i, d1[i], d2[i], d3[i])
+		}
+	}
+}
+
+// --- Microbenchmarks: single element per variant, plus the batched
+// panel entry, so the contraction-layer win is measurable separately
+// from the solver restructuring. ---
+
+func BenchmarkGradFused(b *testing.B) {
+	m := testMatrix()
+	benchGrad(b, func(u, d1, d2, d3 []float32) { GradFused(m, u, d1, d2, d3) })
+}
+
+func benchGradBatch(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(9))
+	m := testMatrix()
+	u := make([]float32, n*PadLen)
+	for e := 0; e < n; e++ {
+		copy(u[e*PadLen:], randBlock(rng))
+	}
+	d1 := make([]float32, n*PadLen)
+	d2 := make([]float32, n*PadLen)
+	d3 := make([]float32, n*PadLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyDGradBatch(m, u, d1, d2, d3, n)
+	}
+	sink += d1[0] + d2[63] + d3[(n-1)*PadLen+124]
+}
+
+func BenchmarkGradFusedBatch3(b *testing.B)  { benchGradBatch(b, 3) }
+func BenchmarkGradFusedBatch16(b *testing.B) { benchGradBatch(b, 16) }
+
+func BenchmarkGradTWeightedFused(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m := testMatrix()
+	s1 := randBlock(rng)
+	s2 := randBlock(rng)
+	s3 := randBlock(rng)
+	f1 := randBlock(rng)
+	f2 := randBlock(rng)
+	f3 := randBlock(rng)
+	out := make([]float32, PadLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GradTWeightedFused(m, s1, s2, s3, f1, f2, f3, out)
+	}
+	sink += out[0] + out[124]
+}
+
+// The unfused equivalent of GradTWeightedFused for an apples-to-apples
+// comparison: three transpose applies plus the pointwise weighted
+// combination, exactly what the non-fused solver variants execute per
+// component.
+func BenchmarkGradTWeightedUnfusedVec4(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m := testMatrix()
+	cols := Columns4(m)
+	s1 := randBlock(rng)
+	s2 := randBlock(rng)
+	s3 := randBlock(rng)
+	f1 := randBlock(rng)
+	f2 := randBlock(rng)
+	f3 := randBlock(rng)
+	t1 := make([]float32, PadLen)
+	t2 := make([]float32, PadLen)
+	t3 := make([]float32, PadLen)
+	out := make([]float32, PadLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyD1Vec4(m, &cols, s1, t1)
+		ApplyD2Vec4(m, s2, t2)
+		ApplyD3Vec4(m, s3, t3)
+		for p := 0; p < BlockLen; p++ {
+			out[p] = f1[p]*t1[p] + f2[p]*t2[p] + f3[p]*t3[p]
+		}
+	}
+	sink += out[0] + out[124]
+}

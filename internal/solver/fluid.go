@@ -2,6 +2,8 @@ package solver
 
 import (
 	"specglobe/internal/mesh"
+	"specglobe/internal/perf"
+	"specglobe/internal/simd"
 )
 
 // The fluid outer core uses the scalar potential formulation of
@@ -34,12 +36,17 @@ func (rs *rankState) computeFluidForces(classes [][]int32) {
 			rs.fluidForcesChunk(ks, elems)
 		})
 	}
-	rs.prof.AddFlops(rs.fc.FluidElement * int64(numE))
+	rs.prof.AddFlops(perf.PhaseForceFluid, rs.fc.FluidElement*int64(numE))
+	rs.prof.AddBytes(perf.PhaseForceFluid, rs.bc.FluidElement*int64(numE))
 }
 
 // fluidForcesChunk processes one conflict-free chunk of fluid elements,
 // reusing the x-component scratch blocks for the scalar potential.
 func (rs *rankState) fluidForcesChunk(ks *kernelScratch, elems []int32) {
+	if ks.k.variant == KernelFused {
+		rs.fluidForcesChunkFused(ks, elems)
+		return
+	}
 	fl := rs.fluid
 	reg := fl.reg
 	k := ks.k
@@ -78,6 +85,71 @@ func (rs *rankState) fluidForcesChunk(ks *kernelScratch, elems []int32) {
 	}
 }
 
+// fluidForcesChunkFused is the KernelFused sweep for the scalar
+// potential: consecutive elements are gathered into a panel of up to
+// fusedPanel padded blocks and run through ONE batched gradient (the
+// 5x5 matrix loads once per panel instead of once per apply), then each
+// element's pointwise stage and fused weighted-transpose accumulation
+// proceed as in the solid kernel. Panel membership never mixes data
+// across blocks, so chunk and panel boundaries do not affect any
+// element's result and worker-count bit-identity is preserved.
+func (rs *rankState) fluidForcesChunkFused(ks *kernelScratch, elems []int32) {
+	fl := rs.fluid
+	reg := fl.reg
+	k := ks.k
+	acc := &ks.t1x
+
+	for off := 0; off < len(elems); off += fusedPanel {
+		n := len(elems) - off
+		if n > fusedPanel {
+			n = fusedPanel
+		}
+		batch := elems[off : off+n]
+
+		for bi, e32 := range batch {
+			base := int(e32) * mesh.NGLL3
+			ib := reg.Ibool[base : base+mesh.NGLL3]
+			chi := ks.pu[bi*simd.PadLen:]
+			for p, g := range ib {
+				chi[p] = fl.chi[g]
+			}
+		}
+
+		simd.ApplyDGradBatch(k.hprime, ks.pu[:], ks.pt1[:], ks.pt2[:], ks.pt3[:], n)
+
+		for bi, e32 := range batch {
+			base := int(e32) * mesh.NGLL3
+			ib := reg.Ibool[base : base+mesh.NGLL3]
+			bo := bi * simd.PadLen
+			t1 := ks.pt1[bo : bo+simd.PadLen]
+			t2 := ks.pt2[bo : bo+simd.PadLen]
+			t3 := ks.pt3[bo : bo+simd.PadLen]
+			s1, s2, s3 := &ks.s1x, &ks.s2x, &ks.s3x
+
+			for p := 0; p < mesh.NGLL3; p++ {
+				ip := base + p
+				xix, xiy, xiz := reg.Xix[ip], reg.Xiy[ip], reg.Xiz[ip]
+				etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
+				gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
+
+				gx := xix*t1[p] + etx*t2[p] + gmx*t3[p]
+				gy := xiy*t1[p] + ety*t2[p] + gmy*t3[p]
+				gz := xiz*t1[p] + etz*t2[p] + gmz*t3[p]
+
+				fac := reg.Jac[ip] / reg.Rho[ip]
+				s1[p] = fac * (gx*xix + gy*xiy + gz*xiz)
+				s2[p] = fac * (gx*etx + gy*ety + gz*etz)
+				s3[p] = fac * (gx*gmx + gy*gmy + gz*gmz)
+			}
+
+			simd.GradTWeightedFused(k.hpwT, s1[:], s2[:], s3[:], k.fac1[:], k.fac2[:], k.fac3[:], acc[:])
+			for p, g := range ib {
+				fl.chiDdot[g] -= acc[p]
+			}
+		}
+	}
+}
+
 // addSolidDisplacementToFluid applies the fluid-side coupling term:
 // chiDdot accumulates + Weight * (u_solid . n_f) at the boundary points,
 // using the freshly predicted solid displacement.
@@ -95,5 +167,6 @@ func (rs *rankState) addSolidDisplacementToFluid(faces []mesh.CoupleFace) {
 			fl.chiDdot[cf.FluidPt[q]] += cf.Weight[q] * un
 		}
 	}
-	rs.prof.AddFlops(rs.fc.CouplePoint * int64(len(faces)*mesh.NGLL2))
+	rs.prof.AddFlops(perf.PhaseForceFluid, rs.fc.CouplePoint*int64(len(faces)*mesh.NGLL2))
+	rs.prof.AddBytes(perf.PhaseForceFluid, rs.bc.CouplePoint*int64(len(faces)*mesh.NGLL2))
 }

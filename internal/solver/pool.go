@@ -31,7 +31,16 @@ type kernelScratch struct {
 	s1x, s2x, s3x [simd.PadLen]float32
 	s1y, s2y, s3y [simd.PadLen]float32
 	s1z, s2z, s3z [simd.PadLen]float32
+
+	// Panel scratch for the fused kernel: up to 3 padded blocks
+	// back-to-back so simd.ApplyDGradBatch can keep the 5x5 matrix
+	// loaded across a whole panel (the 3 displacement components of one
+	// solid element, or 3 consecutive fluid elements).
+	pu, pt1, pt2, pt3 [fusedPanel * simd.PadLen]float32
 }
+
+// fusedPanel is the panel width of the fused kernel's batched gradient.
+const fusedPanel = 3
 
 func newKernelScratch(variant Kernel) *kernelScratch {
 	return &kernelScratch{k: newKernels(variant)}

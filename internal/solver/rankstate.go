@@ -81,6 +81,7 @@ type rankState struct {
 	prof  *perf.Profiler
 	kern  *kernels
 	fc    perf.FlopCounts
+	bc    perf.ByteCounts
 
 	// pool is the process-wide worker pool shared by every rank; scr is
 	// this rank's scratch for sweeps too small to dispatch.
@@ -132,6 +133,7 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 		prof:  perf.NewProfiler(rank),
 		kern:  newKernels(opts.Kernel),
 		fc:    perf.DefaultFlopCounts(),
+		bc:    perf.DefaultByteCounts(),
 		pool:  p,
 	}
 	rs.scr = &kernelScratch{k: rs.kern}

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"specglobe/internal/mesh"
+	"specglobe/internal/perf"
 	"specglobe/internal/simd"
 )
 
@@ -33,17 +34,24 @@ func (rs *rankState) computeSolidForces(f *solidField, classes [][]int32) {
 		})
 	}
 	flops := rs.fc.SolidElement * int64(numE)
+	bytes := rs.bc.SolidElement * int64(numE)
 	if f.att != nil {
 		// Memory-variable work: per point, per mechanism, 6 components
 		// of subtract + 2-op recursion update, plus the deviator setup.
 		flops += int64(numE) * int64(mesh.NGLL3) * int64(f.att.nsls*6*3+8)
+		bytes += rs.bc.AttenuationMech * int64(f.att.nsls) * int64(numE)
 	}
-	rs.prof.AddFlops(flops)
+	rs.prof.AddFlops(perf.PhaseForceSolid, flops)
+	rs.prof.AddBytes(perf.PhaseForceSolid, bytes)
 }
 
 // solidForcesChunk processes one conflict-free chunk of elements on a
 // worker (or inline) scratch.
 func (rs *rankState) solidForcesChunk(f *solidField, ks *kernelScratch, elems []int32) {
+	if ks.k.variant == KernelFused {
+		rs.solidForcesChunkFused(f, ks, elems)
+		return
+	}
 	reg := f.reg
 	k := ks.k
 
@@ -162,6 +170,134 @@ func (rs *rankState) solidForcesChunk(f *solidField, ks *kernelScratch, elems []
 	}
 }
 
+// solidForcesChunkFused is the KernelFused sweep: per element, one
+// gather, ONE batched gradient over the 3-component panel (the 5x5
+// matrix stays loaded for all three), the unchanged pointwise stress
+// stage, then a fused weighted-transpose accumulation per component —
+// the nine t blocks of the unfused path never round-trip through the
+// scratch, and the scatter reads one accumulator block per component
+// instead of recombining three. The pointwise arithmetic is textually
+// the same multiply-add sequence as solidForcesChunk, so cross-variant
+// agreement holds to the usual float32 tolerance; per-element work is
+// independent of chunk and panel boundaries, so results stay
+// bit-identical at every worker count.
+func (rs *rankState) solidForcesChunkFused(f *solidField, ks *kernelScratch, elems []int32) {
+	reg := f.reg
+	k := ks.k
+	ux := ks.pu[0*simd.PadLen : 1*simd.PadLen]
+	uy := ks.pu[1*simd.PadLen : 2*simd.PadLen]
+	uz := ks.pu[2*simd.PadLen : 3*simd.PadLen]
+	t1x := ks.pt1[0*simd.PadLen : 1*simd.PadLen]
+	t1y := ks.pt1[1*simd.PadLen : 2*simd.PadLen]
+	t1z := ks.pt1[2*simd.PadLen : 3*simd.PadLen]
+	t2x := ks.pt2[0*simd.PadLen : 1*simd.PadLen]
+	t2y := ks.pt2[1*simd.PadLen : 2*simd.PadLen]
+	t2z := ks.pt2[2*simd.PadLen : 3*simd.PadLen]
+	t3x := ks.pt3[0*simd.PadLen : 1*simd.PadLen]
+	t3y := ks.pt3[1*simd.PadLen : 2*simd.PadLen]
+	t3z := ks.pt3[2*simd.PadLen : 3*simd.PadLen]
+
+	for _, e32 := range elems {
+		e := int(e32)
+		base := e * mesh.NGLL3
+		ib := reg.Ibool[base : base+mesh.NGLL3]
+
+		for p, g := range ib {
+			ux[p] = f.dx[g]
+			uy[p] = f.dy[g]
+			uz[p] = f.dz[g]
+		}
+
+		simd.ApplyDGradBatch(k.hprime, ks.pu[:], ks.pt1[:], ks.pt2[:], ks.pt3[:], 3)
+
+		var att *attState
+		var muFac float32 = 1
+		if f.att != nil {
+			att = f.att
+			muFac = att.muFac[e]
+		}
+
+		for p := 0; p < mesh.NGLL3; p++ {
+			ip := base + p
+			xix, xiy, xiz := reg.Xix[ip], reg.Xiy[ip], reg.Xiz[ip]
+			etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
+			gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
+
+			duxdx := xix*t1x[p] + etx*t2x[p] + gmx*t3x[p]
+			duxdy := xiy*t1x[p] + ety*t2x[p] + gmy*t3x[p]
+			duxdz := xiz*t1x[p] + etz*t2x[p] + gmz*t3x[p]
+			duydx := xix*t1y[p] + etx*t2y[p] + gmx*t3y[p]
+			duydy := xiy*t1y[p] + ety*t2y[p] + gmy*t3y[p]
+			duydz := xiz*t1y[p] + etz*t2y[p] + gmz*t3y[p]
+			duzdx := xix*t1z[p] + etx*t2z[p] + gmx*t3z[p]
+			duzdy := xiy*t1z[p] + ety*t2z[p] + gmy*t3z[p]
+			duzdz := xiz*t1z[p] + etz*t2z[p] + gmz*t3z[p]
+
+			exy := 0.5 * (duxdy + duydx)
+			exz := 0.5 * (duxdz + duzdx)
+			eyz := 0.5 * (duydz + duzdy)
+			tr := duxdx + duydy + duzdz
+
+			mu := reg.Mu[ip] * muFac
+			kap := reg.Kappa[ip]
+			lam := kap - (2.0/3.0)*mu
+
+			sxx := lam*tr + 2*mu*duxdx
+			syy := lam*tr + 2*mu*duydy
+			szz := lam*tr + 2*mu*duzdz
+			sxy := 2 * mu * exy
+			sxz := 2 * mu * exz
+			syz := 2 * mu * eyz
+
+			if att != nil {
+				third := tr * (1.0 / 3.0)
+				dxx := duxdx - third
+				dyy := duydy - third
+				dzz := duzdz - third
+				for m := 0; m < att.nsls; m++ {
+					al := att.alpha[m][e]
+					be := att.beta[m][e] * mu
+					r := &att.r[m]
+					sxx -= r[0][ip]
+					syy -= r[1][ip]
+					szz -= r[2][ip]
+					sxy -= r[3][ip]
+					sxz -= r[4][ip]
+					syz -= r[5][ip]
+					r[0][ip] = al*r[0][ip] + be*2*dxx
+					r[1][ip] = al*r[1][ip] + be*2*dyy
+					r[2][ip] = al*r[2][ip] + be*2*dzz
+					r[3][ip] = al*r[3][ip] + be*2*exy
+					r[4][ip] = al*r[4][ip] + be*2*exz
+					r[5][ip] = al*r[5][ip] + be*2*eyz
+				}
+			}
+
+			jac := reg.Jac[ip]
+			ks.s1x[p] = jac * (sxx*xix + sxy*xiy + sxz*xiz)
+			ks.s1y[p] = jac * (sxy*xix + syy*xiy + syz*xiz)
+			ks.s1z[p] = jac * (sxz*xix + syz*xiy + szz*xiz)
+			ks.s2x[p] = jac * (sxx*etx + sxy*ety + sxz*etz)
+			ks.s2y[p] = jac * (sxy*etx + syy*ety + syz*etz)
+			ks.s2z[p] = jac * (sxz*etx + syz*ety + szz*etz)
+			ks.s3x[p] = jac * (sxx*gmx + sxy*gmy + sxz*gmz)
+			ks.s3y[p] = jac * (sxy*gmx + syy*gmy + syz*gmz)
+			ks.s3z[p] = jac * (sxz*gmx + syz*gmy + szz*gmz)
+		}
+
+		// Fused weighted transpose: one accumulator block per component.
+		simd.GradTWeightedFused(k.hpwT, ks.s1x[:], ks.s2x[:], ks.s3x[:], k.fac1[:], k.fac2[:], k.fac3[:], ks.t1x[:])
+		simd.GradTWeightedFused(k.hpwT, ks.s1y[:], ks.s2y[:], ks.s3y[:], k.fac1[:], k.fac2[:], k.fac3[:], ks.t1y[:])
+		simd.GradTWeightedFused(k.hpwT, ks.s1z[:], ks.s2z[:], ks.s3z[:], k.fac1[:], k.fac2[:], k.fac3[:], ks.t1z[:])
+
+		for p, g := range ib {
+			f.ax[g] -= ks.t1x[p]
+			f.ay[g] -= ks.t1y[p]
+			f.az[g] -= ks.t1z[p]
+		}
+	}
+}
+
 // addFluidTractionToSolid applies the fluid pressure traction on the
 // solid side of the CMB and ICB: F += (w . n_s) chi_ddot dA with
 // n_s = -n_f, i.e. F -= Weight * n_f * chi_ddot (displacement-based
@@ -184,7 +320,8 @@ func (rs *rankState) addFluidTractionToSolid(faces []mesh.CoupleFace) {
 			f.az[sp] -= w * cf.Nz[q] * chidd
 		}
 	}
-	rs.prof.AddFlops(rs.fc.TractionPoint * int64(len(faces)*mesh.NGLL2))
+	rs.prof.AddFlops(perf.PhaseForceSolid, rs.fc.TractionPoint*int64(len(faces)*mesh.NGLL2))
+	rs.prof.AddBytes(perf.PhaseForceSolid, rs.bc.TractionPoint*int64(len(faces)*mesh.NGLL2))
 }
 
 // gradT1/2/3 apply the weighted transpose matrix along one direction.

@@ -41,7 +41,29 @@ const (
 	KernelScalar
 	// KernelBlas is the BLAS-style path with cutplane copies.
 	KernelBlas
+	// KernelFused is the single-sweep variant: all three cutplane
+	// derivatives in one traversal per element (batched across a panel
+	// so the 5x5 matrix loads once), the pointwise stress work
+	// interleaved between the grad and transpose stages, and the GLL
+	// weights folded into a fused transpose accumulation — one block
+	// per component reaches the scatter instead of three.
+	KernelFused
 )
+
+// String returns the variant name used in ablation tables.
+func (k Kernel) String() string {
+	switch k {
+	case KernelVec4:
+		return "vec4"
+	case KernelScalar:
+		return "scalar"
+	case KernelBlas:
+		return "blas"
+	case KernelFused:
+		return "fused"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
 
 // EarthRotationRate is the sidereal rotation rate in rad/s.
 const EarthRotationRate = 7.292115e-5
@@ -445,6 +467,8 @@ func (k *kernels) grad(u, d1, d2, d3 []float32) {
 		simd.GradScalar(k.hprime, u, d1, d2, d3)
 	case KernelBlas:
 		simd.GradBlas(simd.SgemmRef, k.hprime, u, d1, d2, d3, k.scratchIn, k.scratchOut)
+	case KernelFused:
+		simd.GradFused(k.hprime, u, d1, d2, d3)
 	default:
 		simd.GradVec4(k.hprime, &k.colsH, u, d1, d2, d3)
 	}
@@ -458,6 +482,8 @@ func (k *kernels) gradT(u, d1, d2, d3 []float32) {
 		simd.GradScalar(k.hpwT, u, d1, d2, d3)
 	case KernelBlas:
 		simd.GradBlas(simd.SgemmRef, k.hpwT, u, d1, d2, d3, k.scratchIn, k.scratchOut)
+	case KernelFused:
+		simd.GradFused(k.hpwT, u, d1, d2, d3)
 	default:
 		simd.GradVec4(k.hpwT, &k.colsT, u, d1, d2, d3)
 	}

@@ -339,11 +339,50 @@ func TestParallelInvariance(t *testing.T) {
 	}
 }
 
+// kernelVariants lists every force-kernel implementation with a name
+// for sub-tests and sub-benchmarks.
+var kernelVariants = []struct {
+	name string
+	kv   Kernel
+}{
+	{"vec4", KernelVec4},
+	{"scalar", KernelScalar},
+	{"blas", KernelBlas},
+	{"fused", KernelFused},
+}
+
+// checkKernelVariantsAgree runs the given single-variant simulation for
+// every kernel and requires all seismogram components to agree with the
+// KernelVec4 reference within tol*scale.
+func checkKernelVariantsAgree(t *testing.T, tol float64, run func(kv Kernel) *Seismogram) {
+	t.Helper()
+	ref := run(KernelVec4)
+	scale := maxAbs(ref.X) + maxAbs(ref.Y) + maxAbs(ref.Z)
+	if scale == 0 {
+		t.Fatal("no signal in reference run")
+	}
+	for _, v := range kernelVariants {
+		if v.kv == KernelVec4 {
+			continue
+		}
+		got := run(v.kv)
+		for i := range ref.X {
+			dx := math.Abs(float64(ref.X[i] - got.X[i]))
+			dy := math.Abs(float64(ref.Y[i] - got.Y[i]))
+			dz := math.Abs(float64(ref.Z[i] - got.Z[i]))
+			if dx+dy+dz > tol*scale {
+				t.Fatalf("kernel %s differs at sample %d: diff %g (scale %g)",
+					v.name, i, dx+dy+dz, scale)
+			}
+		}
+	}
+}
+
 // All kernel variants must produce the same seismograms to float32
 // roundoff.
 func TestKernelVariantsAgree(t *testing.T) {
 	const L = 40e3
-	run := func(kv Kernel) *Seismogram {
+	checkKernelVariantsAgree(t, 2e-5, func(kv Kernel) *Seismogram {
 		b := buildBox(t, 4, 1, L)
 		src := boxSource(t, b, L/2, L/2, L/2, 1e17, 1.0)
 		res, err := Run(&Simulation{
@@ -356,16 +395,108 @@ func TestKernelVariantsAgree(t *testing.T) {
 			t.Fatal(err)
 		}
 		return res.Seismograms["R"]
-	}
-	ref := run(KernelVec4)
-	scale := maxAbs(ref.X)
-	for _, kv := range []Kernel{KernelScalar, KernelBlas} {
-		got := run(kv)
-		for i := range ref.X {
-			if math.Abs(float64(ref.X[i]-got.X[i])) > 2e-5*scale {
-				t.Fatalf("kernel %d differs at %d: %g vs %g", kv, i, ref.X[i], got.X[i])
-			}
+	})
+}
+
+// The agreement must survive the attenuation path: the SLS memory-
+// variable recursion runs inside the force kernels, so a variant that
+// reorders it would drift from the others over a run.
+func TestKernelVariantsAgreeAttenuation(t *testing.T) {
+	const L = 40e3
+	checkKernelVariantsAgree(t, 2e-5, func(kv Kernel) *Seismogram {
+		b := buildBox(t, 4, 1, L)
+		src := boxSource(t, b, L/2, L/2, L/2, 1e17, 1.0)
+		res, err := Run(&Simulation{
+			Locals: b.Locals, Plans: b.Plans,
+			Sources:   []Source{src},
+			Receivers: []Receiver{boxReceiver(t, b, "R", L/2+10e3, L/2, L/2, false)},
+			Opts: Options{
+				Steps: 100, Dt: 0.02, Kernel: kv,
+				Attenuation: true, AttenuationBand: [2]float64{0.1, 2},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
+		return res.Seismograms["R"]
+	})
+}
+
+// The agreement must also hold on a doubled globe, where the fluid
+// kernel, the solid-fluid coupling, and non-uniform element geometry
+// (doubling-layer bricks) all participate.
+func TestKernelVariantsAgreeDoubledGlobe(t *testing.T) {
+	model := earthmodel.NewHomogeneous(6371e3, earthmodel.Material{
+		Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+	})
+	model.ICBRadius = 1221.5e3
+	model.CMBRadius = 3480e3
+	g, err := meshfem.Build(meshfem.Config{
+		NexXi: 8, NProcXi: 1, Model: model, Doublings: []float64{5200e3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcLoc, err := g.LocateLatLonDepth(0, 0, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcvLoc, err := g.LocateLatLonDepth(10, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m0 = 1e20
+	checkKernelVariantsAgree(t, 2e-5, func(kv Kernel) *Seismogram {
+		res, err := Run(&Simulation{
+			Locals: g.Locals, Plans: g.Plans, Model: model,
+			Sources: []Source{{
+				Rank: srcLoc.Rank, Kind: srcLoc.Kind, Elem: srcLoc.Elem, Ref: srcLoc.Ref,
+				MomentTensor: [3][3]float64{{m0, 0, 0}, {0, m0, 0}, {0, 0, m0}},
+				STF:          GaussianSTF(5, 15),
+			}},
+			Receivers: []Receiver{{
+				Name: "R", Rank: rcvLoc.Rank, Kind: rcvLoc.Kind,
+				Elem: rcvLoc.Elem, Ref: rcvLoc.Ref,
+			}},
+			Opts: Options{Steps: 60, Kernel: kv},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seismograms["R"]
+	})
+}
+
+// Within a variant, results must be bit-identical at every worker
+// count: the sweeps are conflict-free by coloring and per-element work
+// never depends on chunk or panel boundaries.
+func TestKernelVariantsWorkerBitIdentity(t *testing.T) {
+	const L = 40e3
+	for _, v := range kernelVariants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			run := func(workers int) *Seismogram {
+				b := buildBox(t, 4, 1, L)
+				src := boxSource(t, b, L/2, L/2, L/2, 1e17, 1.0)
+				res, err := Run(&Simulation{
+					Locals: b.Locals, Plans: b.Plans,
+					Sources:   []Source{src},
+					Receivers: []Receiver{boxReceiver(t, b, "R", L/2+10e3, L/2, L/2, false)},
+					Opts:      Options{Steps: 60, Dt: 0.02, Kernel: v.kv, Workers: workers},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Seismograms["R"]
+			}
+			one := run(1)
+			four := run(4)
+			for i := range one.X {
+				if one.X[i] != four.X[i] || one.Y[i] != four.Y[i] || one.Z[i] != four.Z[i] {
+					t.Fatalf("kernel %s not bit-identical across workers at sample %d", v.name, i)
+				}
+			}
+		})
 	}
 }
 
@@ -657,6 +788,20 @@ func BenchmarkSolidForceKernelScalar(b *testing.B) {
 
 func BenchmarkSolidForceKernelBlas(b *testing.B) {
 	benchSolidKernel(b, KernelBlas)
+}
+
+func BenchmarkSolidForceKernelFused(b *testing.B) {
+	benchSolidKernel(b, KernelFused)
+}
+
+// BenchmarkKernelVariants runs every force-kernel variant as a
+// sub-benchmark; CI executes it at -benchtime 1x so a variant that
+// stops compiling or regresses to NaN fails fast.
+func BenchmarkKernelVariants(b *testing.B) {
+	for _, v := range kernelVariants {
+		v := v
+		b.Run(v.name, func(b *testing.B) { benchSolidKernel(b, v.kv) })
+	}
 }
 
 func benchSolidKernel(b *testing.B, kv Kernel) {

@@ -5,6 +5,7 @@ import (
 
 	"specglobe/internal/gll"
 	"specglobe/internal/mesh"
+	"specglobe/internal/perf"
 )
 
 // prepareSource precomputes the nodal force array of a source: the
@@ -103,7 +104,8 @@ func (rs *rankState) addSources(step int) {
 			f.ay[g] += stf * sl.arr[p][1]
 			f.az[g] += stf * sl.arr[p][2]
 		}
-		rs.prof.AddFlops(rs.fc.SourcePoint * int64(mesh.NGLL3))
+		rs.prof.AddFlops(perf.PhaseForceSolid, rs.fc.SourcePoint*int64(mesh.NGLL3))
+		rs.prof.AddBytes(perf.PhaseForceSolid, rs.bc.SourcePoint*int64(mesh.NGLL3))
 	}
 }
 

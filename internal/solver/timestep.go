@@ -64,7 +64,8 @@ func (rs *rankState) predictor() {
 				f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
 			}
 		})
-		rs.prof.AddFlops(rs.fc.SolidPredictor * int64(len(f.dx)))
+		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.SolidPredictor*int64(len(f.dx)))
+		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidPredictor*int64(len(f.dx)))
 	}
 	if fl := rs.fluid; fl != nil {
 		rs.pool.sweepRange(rs.scr, len(fl.chi), &rs.updateBusy, func(lo, hi int) {
@@ -74,7 +75,8 @@ func (rs *rankState) predictor() {
 				fl.chiDdot[i] = 0
 			}
 		})
-		rs.prof.AddFlops(rs.fc.FluidPredictor * int64(len(fl.chi)))
+		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidPredictor*int64(len(fl.chi)))
+		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidPredictor*int64(len(fl.chi)))
 	}
 }
 
@@ -191,7 +193,8 @@ func (rs *rankState) fluidMassDivision() {
 			fl.chiDdot[i] *= fl.massInv[i]
 		}
 	})
-	rs.prof.AddFlops(rs.fc.FluidMassDiv * int64(len(fl.chiDdot)))
+	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidMassDiv*int64(len(fl.chiDdot)))
+	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidMassDiv*int64(len(fl.chiDdot)))
 }
 
 // addTractionAndSources applies the boundary terms of the solid stage:
@@ -281,13 +284,17 @@ func (rs *rankState) solidUpdate() {
 			}
 		})
 		flops := rs.fc.SolidMassDiv
+		bytes := rs.bc.SolidMassDiv
 		if twoOmega != 0 {
 			flops += rs.fc.Coriolis
+			bytes += rs.bc.Coriolis
 		}
 		if f.gOverR != nil {
 			flops += rs.fc.Gravity
+			bytes += rs.bc.Gravity
 		}
-		rs.prof.AddFlops(flops * int64(len(f.ax)))
+		rs.prof.AddFlops(perf.PhaseUpdate, flops*int64(len(f.ax)))
+		rs.prof.AddBytes(perf.PhaseUpdate, bytes*int64(len(f.ax)))
 	}
 	// Ocean load: rescale the normal component of the free-surface
 	// acceleration by M/(M+Mw). Few points; inline.
@@ -302,7 +309,8 @@ func (rs *rankState) solidUpdate() {
 				cm.ay[pt] -= scale * sl.Ny[i]
 				cm.az[pt] -= scale * sl.Nz[i]
 			}
-			rs.prof.AddFlops(rs.fc.OceanPoint * int64(len(sl.Pts)))
+			rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.OceanPoint*int64(len(sl.Pts)))
+			rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.OceanPoint*int64(len(sl.Pts)))
 		})
 	}
 }
@@ -321,7 +329,8 @@ func (rs *rankState) corrector() {
 				f.vz[i] += half * f.az[i]
 			}
 		})
-		rs.prof.AddFlops(rs.fc.SolidCorrector * int64(len(f.vx)))
+		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.SolidCorrector*int64(len(f.vx)))
+		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidCorrector*int64(len(f.vx)))
 	}
 	if fl := rs.fluid; fl != nil {
 		rs.pool.sweepRange(rs.scr, len(fl.chiDot), &rs.updateBusy, func(lo, hi int) {
@@ -329,6 +338,7 @@ func (rs *rankState) corrector() {
 				fl.chiDot[i] += half * fl.chiDdot[i]
 			}
 		})
-		rs.prof.AddFlops(rs.fc.FluidCorrector * int64(len(fl.chiDot)))
+		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidCorrector*int64(len(fl.chiDot)))
+		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidCorrector*int64(len(fl.chiDot)))
 	}
 }
