@@ -945,3 +945,104 @@ func TestWriteBenchPR6(t *testing.T) {
 	writeBenchJSON(t, "BENCH_PR6.json", snap)
 	t.Log("\n" + r.String())
 }
+
+// BenchmarkLTS compares the doubled globe under the single-rate
+// integrator against clustered local time stepping at the same finest
+// dt. The metric is steps-of-finest-level/sec — both variants advance
+// the same simulated time per reported step — beside the theoretical
+// rate-weighted update reduction the realized speedup is bounded by
+// (where virtual halo time dominates, skipping whole exchange rounds
+// on dormant levels can push the realized number past the
+// element-update bound).
+func BenchmarkLTS(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		lts  bool
+	}{{"single-rate", false}, {"lts", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			g := buildBenchGlobeDoubled(b, 8, 1, doublingRadii)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				const steps = 3
+				res := runSteps(b, g, solver.Options{
+					Steps: steps, Overlap: solver.OverlapOn, LTS: mode.lts,
+				})
+				b.ReportMetric(steps/res.Perf.WallTime.Seconds(), "finest-steps/sec")
+				if res.LTS != nil {
+					b.ReportMetric(res.LTS.UpdateReduction, "theory-reduction")
+				}
+			}
+		})
+	}
+}
+
+// benchPR7Snapshot is the schema of BENCH_PR7.json: the perf-trajectory
+// data point for clustered local time stepping (single-rate vs LTS on
+// the doubled BenchmarkLTS configuration).
+type benchPR7Snapshot struct {
+	PR        int    `json:"pr"`
+	Benchmark string `json:"benchmark"`
+	benchEnv
+	Nex       int       `json:"nex"`
+	Ranks     int       `json:"ranks"`
+	Steps     int       `json:"steps"`
+	Doublings []float64 `json:"doubling_radii_m"`
+
+	ElemsByRate          map[int]int64 `json:"elems_by_rate"`
+	TheoreticalReduction float64       `json:"theoretical_update_reduction"`
+	SingleRateStepsSec   float64       `json:"single_rate_finest_steps_per_sec"`
+	LTSStepsSec          float64       `json:"lts_finest_steps_per_sec"`
+	Speedup              float64       `json:"speedup"`
+	Note                 string        `json:"note"`
+}
+
+// TestWriteBenchPR7 regenerates BENCH_PR7.json. It only runs when
+// BENCH_SNAPSHOT=1 is set (it measures wall time, which is meaningless
+// on a loaded CI runner):
+//
+//	BENCH_SNAPSHOT=1 go test -run TestWriteBenchPR7 .
+func TestWriteBenchPR7(t *testing.T) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		t.Skip("set BENCH_SNAPSHOT=1 to rewrite BENCH_PR7.json")
+	}
+	const nex, steps, reps = 8, 10, 3
+	g := buildBenchGlobeDoubled(t, nex, 1, doublingRadii)
+	measure := func(lts bool) (stepsPerSec float64, info *solver.LTSInfo) {
+		for r := 0; r < reps; r++ { // best-of to shed scheduler noise
+			res := runSteps(t, g, solver.Options{
+				Steps: steps, Overlap: solver.OverlapOn, LTS: lts,
+			})
+			if sps := steps / res.Perf.WallTime.Seconds(); sps > stepsPerSec {
+				stepsPerSec = sps
+				info = res.LTS
+			}
+		}
+		return stepsPerSec, info
+	}
+	ss, _ := measure(false)
+	ls, info := measure(true)
+	if info == nil {
+		t.Fatal("LTS run reported no clustering info")
+	}
+	if len(info.ElemsByRate) < 2 {
+		t.Fatalf("doubled globe clustering is single-rate: %v", info.ElemsByRate)
+	}
+	if info.UpdateReduction <= 1.3 {
+		t.Errorf("theoretical reduction %.2f, want > 1.3 on the doubled globe", info.UpdateReduction)
+	}
+	snap := benchPR7Snapshot{
+		PR: 7, Benchmark: "BenchmarkLTS",
+		benchEnv: currentBenchEnv(),
+		Nex:      nex, Ranks: 6, Steps: steps, Doublings: doublingRadii,
+		ElemsByRate:          info.ElemsByRate,
+		TheoreticalReduction: info.UpdateReduction,
+		SingleRateStepsSec:   ss, LTSStepsSec: ls, Speedup: ls / ss,
+		Note: "rate-2^k clusters fire every rate-th step with held interface state; " +
+			"theoretical reduction bounds the element-kernel speedup, while dormant " +
+			"levels also skip halo rounds, so the realized steps-of-finest-level/sec " +
+			"speedup can land on either side of it",
+	}
+	writeBenchJSON(t, "BENCH_PR7.json", snap)
+	t.Logf("single-rate %.2f steps/s, LTS %.2f steps/s (%.2fx, theory %.2fx, rates %v)",
+		ss, ls, ls/ss, info.UpdateReduction, info.ElemsByRate)
+}

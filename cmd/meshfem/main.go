@@ -88,8 +88,16 @@ func main() {
 	rs := mesh.ComputeResolutionStats(g.Locals, g.ShortestPeriod)
 	fmt.Printf("resolution at %.0f s: min %.2f pts/wavelength (worst element in %v at r=%.0f km), mean %.1f\n",
 		g.ShortestPeriod, rs.MinPts, rs.Worst.Kind, rs.Worst.RadiusM/1e3, rs.MeanPts)
-	fmt.Printf("  %-12s %9s %9s %5s %9s\n", "region", "r0 km", "r1 km", "nex", "min pts")
-	for _, lr := range g.LayerResolutions(g.ShortestPeriod) {
+	// Per-layer stable-dt profile beside the resolution audit: dt/min is
+	// the headroom clustered local time stepping converts into skipped
+	// updates (a layer at 2^k times the governing dt can fire every
+	// 2^k-th step).
+	const courant = 0.3
+	dts := g.LayerStableDts(courant)
+	globalDt := g.StableDt(courant)
+	fmt.Printf("  %-12s %9s %9s %5s %9s %9s %7s\n",
+		"region", "r0 km", "r1 km", "nex", "min pts", "min dt", "dt/min")
+	for i, lr := range g.LayerResolutions(g.ShortestPeriod) {
 		tag := ""
 		if lr.Doubling {
 			tag = " (doubling)"
@@ -97,8 +105,9 @@ func main() {
 		if lr.Cube {
 			tag = " (central cube)"
 		}
-		fmt.Printf("  %-12v %9.0f %9.0f %5d %9.2f%s\n",
-			lr.Region, lr.R0/1e3, lr.R1/1e3, lr.NexXi, lr.MinPts, tag)
+		fmt.Printf("  %-12v %9.0f %9.0f %5d %9.2f %8.3fs %6.2fx%s\n",
+			lr.Region, lr.R0/1e3, lr.R1/1e3, lr.NexXi, lr.MinPts,
+			dts[i].MinDt, dts[i].MinDt/globalDt, tag)
 	}
 
 	var memBytes int64

@@ -84,7 +84,33 @@ func experimentList() []experiment {
 				if err != nil {
 					return nil, err
 				}
-				return stringerFunc(r.String() + m.String()), nil
+				// Joint sweep: workers x doubling x interconnect together.
+				// nex 8 is the smallest resolution that admits the standard
+				// two doubling levels, so the joint table pins it even when
+				// quick shrinks the main sweep.
+				workers := []int{1, 4}
+				if quick {
+					workers = []int{1}
+				}
+				j, err := experiments.OverlapJoint(8, 1, steps, workers,
+					[]float64{5200e3, 3000e3})
+				if err != nil {
+					return nil, err
+				}
+				return stringerFunc(r.String() + m.String() + j.String()), nil
+			},
+		},
+		{
+			id: "LTS", desc: "clustered local time stepping: uniform vs doubled vs doubled+LTS on PREM",
+			run: func(quick bool) (fmt.Stringer, error) {
+				doublings := []float64{5200e3, 3000e3}
+				configs := [][2]int{{8, 1}, {16, 2}}
+				steps := 8
+				if quick {
+					configs = [][2]int{{8, 1}}
+					steps = 4
+				}
+				return experiments.LTSAblation(configs, doublings, steps)
 			},
 		},
 		{

@@ -71,3 +71,68 @@ func (g *Globe) LayerResolutions(periodS float64) []LayerResolution {
 	}
 	return out
 }
+
+// LayerStableDt is the stability accounting of one radial layer: the
+// smallest per-element stable time step over the layer's elements on
+// every rank. The per-layer dt profile is what clustered local time
+// stepping converts into skipped updates — a layer whose MinDt is 2^k
+// times the governing (global minimum) dt can legally fire every
+// 2^k-th step.
+type LayerStableDt struct {
+	Region earthmodel.Region
+	// R0, R1 bound the layer radially in meters.
+	R0, R1 float64
+	// NexXi is the chunk-side element count at the bottom of the layer.
+	NexXi int
+	// Doubling and Cube mirror LayerResolution's flags.
+	Doubling, Cube bool
+	// MinDt is the layer's smallest per-element stable dt (seconds).
+	MinDt float64
+}
+
+// LayerStableDts audits every layer's per-element stable-dt minimum at
+// the given Courant number, in the same layer order as
+// LayerResolutions. The global minimum over rows equals the exhaustive
+// per-element ElementDt minimum; it sits at or above the region-wide
+// StableDt, which conservatively pairs the global minimum GLL spacing
+// with the global maximum velocity (possibly from different elements).
+func (g *Globe) LayerStableDts(courant float64) []LayerStableDt {
+	var out []LayerStableDt
+	layerMin := func(kind earthmodel.Region, base func(rank int) int, count func(rank int) int) float64 {
+		min := math.Inf(1)
+		for rank := range g.Locals {
+			reg := g.Locals[rank].Regions[kind]
+			b := base(rank)
+			for e := b; e < b+count(rank); e++ {
+				if dt := reg.ElementDt(e, courant); dt < min {
+					min = dt
+				}
+			}
+		}
+		return min
+	}
+	for si := range g.specs {
+		sp := &g.specs[si]
+		for li, l := range sp.layers {
+			si, li := si, li
+			out = append(out, LayerStableDt{
+				Region: sp.kind, R0: l.r0, R1: l.r1,
+				NexXi:    l.botXi(),
+				Doubling: l.kind != layerUniform,
+				MinDt: layerMin(sp.kind,
+					func(int) int { return g.layerBase[si][li] },
+					func(int) int { return g.layerCount[si][li] }),
+			})
+		}
+		if sp.withCube {
+			out = append(out, LayerStableDt{
+				Region: sp.kind, R0: 0, R1: g.rcc,
+				NexXi: g.cubeNex, Cube: true,
+				MinDt: layerMin(sp.kind,
+					func(rank int) int { return g.cubeBase[rank] },
+					func(rank int) int { return len(g.cubeCells[rank]) }),
+			})
+		}
+	}
+	return out
+}

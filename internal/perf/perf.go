@@ -193,6 +193,17 @@ func (r Report) WorkerUtilization() float64 {
 	return float64(busy) / (float64(r.Workers) * float64(r.WallTime))
 }
 
+// StepsOfFinestPerSec returns the throughput metric that makes local-
+// time-stepping and single-rate runs comparable: global time steps
+// (each one step of the finest LTS level, since the global dt is the
+// finest cluster's dt) divided by wall time.
+func StepsOfFinestPerSec(steps int, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(steps) / wall.Seconds()
+}
+
 // TotalCommTime returns the full virtual network time, exposed plus
 // hidden — what the section 5 communication models describe, since the
 // overlap schedule hides traffic without removing it.

@@ -1,0 +1,510 @@
+package solver
+
+import (
+	"sort"
+
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/mesh"
+	"specglobe/internal/perf"
+)
+
+// Clustered local time stepping (the cluster wheel). The mesh layer
+// bins elements into rate-2^k clusters (mesh.BuildClusters); the solver
+// turns the binning into a wheel over the global step counter: at step
+// n, exactly the clusters whose rate divides n fire — rate-1 every
+// step, rate-2 every other step, rate-4 every fourth. A global point
+// advances at the maximum rate of its touching elements, so whenever a
+// point fires, every element contributing to it fires too and the
+// assembled force is fully fresh.
+//
+// State held across dormant steps ("held-boundary" scheme): the only
+// arrays element sweeps scatter into are the accelerations, so a
+// dormant point's acceleration slot accumulates garbage from firing
+// neighbors — harmless, because the predictor zeroes it at the point's
+// next firing. The two places that *read* acceleration across a
+// dormant window get held copies instead:
+//
+//   - the predictor of a coarse point needs the final acceleration of
+//     the previous firing: captured into hold arrays by the corrector
+//     (the last reader of the clean value);
+//   - the solid traction reads the fluid potential's second derivative
+//     at CMB/ICB face points every step: a shadow array (accHold)
+//     refreshed after the fluid mass division keeps the last fired
+//     value visible while the fluid slot cycles through garbage.
+//
+// Halo exchanges stay tag-aligned across ranks at every step; only the
+// payloads shrink: per level, each halo edge precomputes the positions
+// whose points fire at that level (both endpoints agree because point
+// rates are max-reconciled across ranks at startup, and HaloEdge.Idx is
+// key-sorted identically on both ends). An edge with no firing points
+// is skipped entirely — a real message-count saving on coarse steps.
+//
+// Single-rate regions keep the existing full-range code paths (the
+// level lists alias the plain sweep classes and the masks stay nil), so
+// a clustering that degenerates to rate 1 everywhere is bit-identical
+// to the single-rate scheduler.
+
+// ltsPoints holds one region's per-level point lists.
+type ltsPoints struct {
+	// single is true when every point has rate 1; the solver then uses
+	// the existing full-range loops (bit-identical degenerate case).
+	single bool
+	// byRate[li] lists the points with rate exactly 2^li, ascending.
+	byRate [][]int32
+	// upTo[li] lists the points with rate <= 2^li, ascending; a nil
+	// entry means "all points" (use the full-range loop).
+	upTo [][]int32
+	// holdX/Y/Z[li] hold the last fired acceleration of byRate[li]
+	// points (parallel to the list), captured by the corrector and read
+	// by the next predictor. li = 0 needs no hold (rate-1 accelerations
+	// are never polluted between corrector and predictor); the fluid
+	// uses holdX for chiDdot.
+	holdX, holdY, holdZ [][]float32
+}
+
+// ltsState is the per-rank cluster-wheel state.
+type ltsState struct {
+	clus   *mesh.Clustering
+	levels int // number of rate levels: log2(MaxRate)+1
+	level  int // current step's firing level index
+	pts    [3]ltsPoints
+	// sweeps[kind][li] are the color classes of the merged element
+	// lists with rate <= 2^li, one sweepClasses per level (aliases the
+	// plain rankState sweeps when every element qualifies).
+	sweeps [3][]sweepClasses
+	// edgeAct[kind][li][edge] lists the firing positions of each halo
+	// edge at each level; nil per kind (single-rate region) or per
+	// level (everything fires) means unmasked, an empty non-nil list
+	// means skip the edge.
+	edgeAct [3][][][]int32
+	// accHold is the traction shadow of the fluid chiDdot at coupling
+	// face points (nil when the fluid is absent or single-rate).
+	accHold []float32
+	// faceUpTo/restUpTo[li]: fluid coupling-face points and the
+	// remaining fluid points with rate <= 2^li (restUpTo only built
+	// when the deferred fluid corrector needs the split).
+	faceUpTo, restUpTo [][]int32
+	// counts is the local element count per rate (for Result.LTS).
+	counts map[int32]int
+}
+
+// ltsLevelOf returns the firing level index of a global step: the
+// largest li < levels with 2^li dividing step (step 0 fires everything).
+func ltsLevelOf(step, levels int) int {
+	li := 0
+	for li < levels-1 && step%(1<<uint(li+1)) == 0 {
+		li++
+	}
+	return li
+}
+
+// ltsPts returns the region's LTS point lists, or nil when LTS is off.
+func (rs *rankState) ltsPts(kind int) *ltsPoints {
+	if rs.lts == nil {
+		return nil
+	}
+	return &rs.lts.pts[kind]
+}
+
+// sweepsFor returns the element classes the force stage sweeps this
+// step: the full classification without LTS, the current level's merged
+// classification with it.
+func (rs *rankState) sweepsFor(kind int) *sweepClasses {
+	if rs.lts == nil {
+		return &rs.sweeps[kind]
+	}
+	return &rs.lts.sweeps[kind][rs.lts.level]
+}
+
+// edgeMask returns the per-edge firing-position masks of the current
+// level (nil = exchange everything).
+func (rs *rankState) edgeMask(kind int) [][]int32 {
+	if rs.lts == nil || rs.lts.edgeAct[kind] == nil {
+		return nil
+	}
+	return rs.lts.edgeAct[kind][rs.lts.level]
+}
+
+// reconcilePointRates max-exchanges the halo points' rates so both ends
+// of every edge agree: a point's local rate can miss a coarser element
+// on the remote side. One round suffices — the halo builder creates an
+// edge for every rank pair sharing a point, so each rank receives every
+// other sharer's value directly. Every rank consumes the same tags.
+func (rs *rankState) reconcilePointRates() {
+	for kind := 0; kind < 3; kind++ {
+		tag := rs.nextTag()
+		edges := rs.plan.Edges[kind]
+		pr := rs.lts.clus.PointRate[kind]
+		for i := range edges {
+			e := &edges[i]
+			buf := make([]float32, len(e.Idx))
+			for j, idx := range e.Idx {
+				buf[j] = float32(pr[idx])
+			}
+			rs.comm.Isend(e.Peer, tag, buf)
+		}
+		for i := range edges {
+			e := &edges[i]
+			got := rs.comm.Recv(e.Peer, tag)
+			for j, idx := range e.Idx {
+				if r := int32(got[j]); r > pr[idx] {
+					pr[idx] = r
+				}
+			}
+		}
+	}
+}
+
+// initLTS finishes the cluster-wheel setup after the point rates are
+// reconciled: per-level point lists and holds, merged sweep classes,
+// halo masks, and the fluid traction shadow. Starts at the top level
+// (step 0 fires everything), which also keeps the startup mass assembly
+// unmasked.
+func (rs *rankState) initLTS() {
+	lts := rs.lts
+	clus := lts.clus
+	clus.RefreshInterfaces(rs.local)
+	lts.levels = 1
+	for r := int32(1); r < clus.MaxRate; r *= 2 {
+		lts.levels++
+	}
+	lts.level = lts.levels - 1
+	lts.counts = clus.RateCounts()
+
+	for kind := 0; kind < 3; kind++ {
+		reg := rs.local.Regions[kind]
+		lts.sweeps[kind] = make([]sweepClasses, lts.levels)
+		if reg == nil || reg.NSpec == 0 {
+			lts.pts[kind].single = true
+			continue
+		}
+		lts.pts[kind] = buildLTSPoints(clus.PointRate[kind], lts.levels)
+		rs.buildLTSSweeps(kind)
+		if !lts.pts[kind].single {
+			rs.buildEdgeMasks(kind)
+		}
+	}
+
+	// Fluid traction shadow: the solid reads the fluid potential's
+	// second derivative at CMB/ICB face points every step, so a
+	// multi-rate fluid keeps the last fired values visible in accHold.
+	if fl := rs.fluid; fl != nil && !lts.pts[earthmodel.RegionOuterCore].single {
+		pr := clus.PointRate[earthmodel.RegionOuterCore]
+		lts.accHold = make([]float32, fl.reg.NGlob)
+		lts.faceUpTo = filterByRate(rs.fluidFace, pr, lts.levels)
+		if rs.fluidDeferred {
+			lts.restUpTo = filterByRate(rs.fluidRest, pr, lts.levels)
+		}
+		rs.chiSrc = lts.accHold
+	}
+}
+
+// buildLTSPoints bins a region's points by rate into per-level lists.
+func buildLTSPoints(pr []int32, levels int) ltsPoints {
+	p := ltsPoints{
+		byRate: make([][]int32, levels),
+		upTo:   make([][]int32, levels),
+		holdX:  make([][]float32, levels),
+		holdY:  make([][]float32, levels),
+		holdZ:  make([][]float32, levels),
+	}
+	single := true
+	for _, r := range pr {
+		if r > 1 {
+			single = false
+			break
+		}
+	}
+	p.single = single
+	if single {
+		return p
+	}
+	for li := 0; li < levels; li++ {
+		rate := int32(1) << uint(li)
+		var exact, upto []int32
+		for g, r := range pr {
+			if r == rate || r == 0 && rate == 1 {
+				exact = append(exact, int32(g))
+			}
+			if r <= rate {
+				upto = append(upto, int32(g))
+			}
+		}
+		p.byRate[li] = exact
+		if len(upto) == len(pr) {
+			upto = nil // full range
+		}
+		p.upTo[li] = upto
+		if li > 0 {
+			p.holdX[li] = make([]float32, len(exact))
+			p.holdY[li] = make([]float32, len(exact))
+			p.holdZ[li] = make([]float32, len(exact))
+		}
+	}
+	return p
+}
+
+// buildLTSSweeps precomputes the merged color classes per level: the
+// elements of every cluster with rate <= 2^li, split the same way the
+// plain schedules split the full region. Levels where every element
+// fires alias the existing classes (the degenerate fast path).
+func (rs *rankState) buildLTSSweeps(kind int) {
+	lts := rs.lts
+	clus := lts.clus
+	for li := 0; li < lts.levels; li++ {
+		rate := int32(1) << uint(li)
+		elems := clus.ElemsUpTo(kind, rate)
+		if elems == nil {
+			lts.sweeps[kind][li] = rs.sweeps[kind]
+			continue
+		}
+		sc := &lts.sweeps[kind][li]
+		sc.full = rs.colors.Classes(kind, elems)
+		merge := func(get func(*mesh.Cluster) []int32) [][]int32 {
+			out := []int32{}
+			for ci := range clus.Clusters[kind] {
+				cl := &clus.Clusters[kind][ci]
+				if cl.Rate <= rate {
+					out = append(out, get(cl)...)
+				}
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return rs.colors.Classes(kind, out)
+		}
+		if rs.overlap {
+			sc.outer = merge(func(cl *mesh.Cluster) []int32 { return cl.Outer })
+			sc.inner = merge(func(cl *mesh.Cluster) []int32 { return cl.Inner })
+		}
+		if rs.pipeline && kind == int(earthmodel.RegionOuterCore) {
+			sc.boundary = merge(func(cl *mesh.Cluster) []int32 { return cl.Boundary })
+			sc.pipeInner = merge(func(cl *mesh.Cluster) []int32 { return cl.PipeInner })
+		}
+	}
+}
+
+// buildEdgeMasks precomputes, per level, which positions of each halo
+// edge belong to firing points.
+func (rs *rankState) buildEdgeMasks(kind int) {
+	lts := rs.lts
+	pr := lts.clus.PointRate[kind]
+	edges := rs.plan.Edges[kind]
+	if len(edges) == 0 {
+		return
+	}
+	masks := make([][][]int32, lts.levels)
+	for li := 0; li < lts.levels-1; li++ {
+		rate := int32(1) << uint(li)
+		perEdge := make([][]int32, len(edges))
+		any := false
+		for i := range edges {
+			e := &edges[i]
+			act := []int32{}
+			for j, idx := range e.Idx {
+				if pr[idx] <= rate {
+					act = append(act, int32(j))
+				}
+			}
+			if len(act) == len(e.Idx) {
+				perEdge[i] = nil // fully firing edge: unmasked fast path
+			} else {
+				perEdge[i] = act
+				any = true
+			}
+		}
+		if any {
+			masks[li] = perEdge
+		}
+	}
+	// Top level: everything fires; masks[levels-1] stays nil.
+	lts.edgeAct[kind] = masks
+}
+
+// filterByRate returns, per level, the subset of pts whose rate is at
+// most 2^li (ascending, since pts is ascending).
+func filterByRate(pts []int32, pr []int32, levels int) [][]int32 {
+	out := make([][]int32, levels)
+	for li := 0; li < levels; li++ {
+		rate := int32(1) << uint(li)
+		sel := []int32{}
+		for _, p := range pts {
+			if pr[p] <= rate {
+				sel = append(sel, p)
+			}
+		}
+		out[li] = sel
+	}
+	return out
+}
+
+// refreshTractionShadow copies the freshly mass-divided fluid chiDdot
+// of the firing face points into the traction shadow.
+func (rs *rankState) refreshTractionShadow() {
+	lts := rs.lts
+	if lts == nil || lts.accHold == nil {
+		return
+	}
+	src := rs.fluid.chiDdot
+	for _, p := range lts.faceUpTo[lts.level] {
+		lts.accHold[p] = src[p]
+	}
+}
+
+// solidPredictorLTS advances the firing solid points, each with its own
+// rate-scaled time step. Coarse lists read the held acceleration of the
+// previous firing (the live slot has been polluted by firing neighbors
+// during the dormant window).
+func (rs *rankState) solidPredictorLTS(f *solidField, pts *ltsPoints) {
+	n := 0
+	for li := 0; li <= rs.lts.level; li++ {
+		list := pts.byRate[li]
+		if len(list) == 0 {
+			continue
+		}
+		dtr := float32(rs.dt) * float32(int32(1)<<uint(li))
+		half := dtr / 2
+		halfSq := dtr * dtr / 2
+		if li == 0 {
+			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
+				for q := lo; q < hi; q++ {
+					i := list[q]
+					f.dx[i] += dtr*f.vx[i] + halfSq*f.ax[i]
+					f.dy[i] += dtr*f.vy[i] + halfSq*f.ay[i]
+					f.dz[i] += dtr*f.vz[i] + halfSq*f.az[i]
+					f.vx[i] += half * f.ax[i]
+					f.vy[i] += half * f.ay[i]
+					f.vz[i] += half * f.az[i]
+					f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
+				}
+			})
+		} else {
+			hx, hy, hz := pts.holdX[li], pts.holdY[li], pts.holdZ[li]
+			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
+				for q := lo; q < hi; q++ {
+					i := list[q]
+					ax, ay, az := hx[q], hy[q], hz[q]
+					f.dx[i] += dtr*f.vx[i] + halfSq*ax
+					f.dy[i] += dtr*f.vy[i] + halfSq*ay
+					f.dz[i] += dtr*f.vz[i] + halfSq*az
+					f.vx[i] += half * ax
+					f.vy[i] += half * ay
+					f.vz[i] += half * az
+					f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
+				}
+			})
+		}
+		n += len(list)
+	}
+	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.SolidPredictor*int64(n))
+	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidPredictor*int64(n))
+}
+
+// fluidPredictorLTS is solidPredictorLTS for the potential field; the
+// chiDdot hold lives in holdX.
+func (rs *rankState) fluidPredictorLTS(pts *ltsPoints) {
+	fl := rs.fluid
+	n := 0
+	for li := 0; li <= rs.lts.level; li++ {
+		list := pts.byRate[li]
+		if len(list) == 0 {
+			continue
+		}
+		dtr := float32(rs.dt) * float32(int32(1)<<uint(li))
+		half := dtr / 2
+		halfSq := dtr * dtr / 2
+		if li == 0 {
+			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
+				for q := lo; q < hi; q++ {
+					i := list[q]
+					fl.chi[i] += dtr*fl.chiDot[i] + halfSq*fl.chiDdot[i]
+					fl.chiDot[i] += half * fl.chiDdot[i]
+					fl.chiDdot[i] = 0
+				}
+			})
+		} else {
+			h := pts.holdX[li]
+			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
+				for q := lo; q < hi; q++ {
+					i := list[q]
+					a := h[q]
+					fl.chi[i] += dtr*fl.chiDot[i] + halfSq*a
+					fl.chiDot[i] += half * a
+					fl.chiDdot[i] = 0
+				}
+			})
+		}
+		n += len(list)
+	}
+	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidPredictor*int64(n))
+	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidPredictor*int64(n))
+}
+
+// solidCorrectorLTS finishes the firing solid points' velocity update
+// and captures the final (mass-divided) acceleration of coarse points
+// into the hold arrays for their next predictor.
+func (rs *rankState) solidCorrectorLTS(f *solidField, pts *ltsPoints) {
+	n := 0
+	for li := 0; li <= rs.lts.level; li++ {
+		list := pts.byRate[li]
+		if len(list) == 0 {
+			continue
+		}
+		half := float32(rs.dt) * float32(int32(1)<<uint(li)) / 2
+		if li == 0 {
+			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
+				for q := lo; q < hi; q++ {
+					i := list[q]
+					f.vx[i] += half * f.ax[i]
+					f.vy[i] += half * f.ay[i]
+					f.vz[i] += half * f.az[i]
+				}
+			})
+		} else {
+			hx, hy, hz := pts.holdX[li], pts.holdY[li], pts.holdZ[li]
+			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
+				for q := lo; q < hi; q++ {
+					i := list[q]
+					f.vx[i] += half * f.ax[i]
+					f.vy[i] += half * f.ay[i]
+					f.vz[i] += half * f.az[i]
+					hx[q], hy[q], hz[q] = f.ax[i], f.ay[i], f.az[i]
+				}
+			})
+		}
+		n += len(list)
+	}
+	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.SolidCorrector*int64(n))
+	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidCorrector*int64(n))
+}
+
+// fluidCorrectorLTS is solidCorrectorLTS for the potential field.
+func (rs *rankState) fluidCorrectorLTS(pts *ltsPoints) {
+	fl := rs.fluid
+	n := 0
+	for li := 0; li <= rs.lts.level; li++ {
+		list := pts.byRate[li]
+		if len(list) == 0 {
+			continue
+		}
+		half := float32(rs.dt) * float32(int32(1)<<uint(li)) / 2
+		if li == 0 {
+			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
+				for q := lo; q < hi; q++ {
+					i := list[q]
+					fl.chiDot[i] += half * fl.chiDdot[i]
+				}
+			})
+		} else {
+			h := pts.holdX[li]
+			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
+				for q := lo; q < hi; q++ {
+					i := list[q]
+					fl.chiDot[i] += half * fl.chiDdot[i]
+					h[q] = fl.chiDdot[i]
+				}
+			})
+		}
+		n += len(list)
+	}
+	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidCorrector*int64(n))
+	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidCorrector*int64(n))
+}

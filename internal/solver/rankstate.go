@@ -105,6 +105,21 @@ type rankState struct {
 	pipeline bool
 	split    *mesh.CouplingSplit
 
+	// lts is the cluster-wheel state of local time stepping (nil when
+	// Options.LTS is off).
+	lts *ltsState
+
+	// fluidDeferred slides the fluid corrector and the non-boundary
+	// fluid mass division under the in-flight solid halo (overlap
+	// schedules only); fluidFace lists the sorted CMB/ICB fluid face
+	// points, fluidRest the complement.
+	fluidDeferred        bool
+	fluidFace, fluidRest []int32
+	// chiSrc is the array the solid traction reads the fluid potential
+	// acceleration from: the LTS shadow when the fluid is multi-rate,
+	// fluid.chiDdot otherwise.
+	chiSrc []float32
+
 	solid [3]*solidField // indexed by region kind; nil for the fluid slot
 	fluid *fluidField    // nil if the mesh has no outer core
 
@@ -148,6 +163,14 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 			rs.split = mesh.BuildCouplingSplit(rs.local, rs.plan)
 		}
 	}
+	if opts.LTS {
+		// Bin elements into rate-2^k clusters before the fields are
+		// built (the attenuation coefficients need per-element rates).
+		// Point rates are reconciled across ranks after construction.
+		rs.lts = &ltsState{
+			clus: mesh.BuildClusters(rs.local, dt, opts.Courant, opts.LTSMaxRate, rs.ov, rs.split),
+		}
+	}
 	// Color the elements and precompute the classes each schedule
 	// sweeps, so the hot loop only walks prebuilt lists.
 	rs.colors = mesh.BuildColoring(rs.local)
@@ -188,7 +211,13 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 			ax: make([]float32, reg.NGlob), ay: make([]float32, reg.NGlob), az: make([]float32, reg.NGlob),
 		}
 		if opts.Attenuation && fit != nil {
-			f.att = newAttState(reg, fit, dt)
+			var rates []int32
+			if rs.lts != nil {
+				// A coarse element advances its SLS recursions only when
+				// it fires, with an accordingly larger step.
+				rates = rs.lts.clus.ElemRate[kind]
+			}
+			f.att = newAttState(reg, fit, dt, rates)
 		}
 		if opts.Gravity && grav != nil {
 			f.gOverR = make([]float32, reg.NGlob)
@@ -213,6 +242,23 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 		rs.solid[kind] = f
 	}
 
+	if fl := rs.fluid; fl != nil {
+		rs.chiSrc = fl.chiDdot
+		rs.fluidFace = couplingFacePoints(rs.local, fl.reg.NGlob)
+		// The deferred fluid schedule (corrector + non-boundary mass
+		// division under the solid halo) needs the overlap schedule's
+		// non-blocking window; the blocking baseline keeps the original
+		// order.
+		if rs.overlap {
+			rs.fluidDeferred = true
+			rs.fluidRest = complementSorted(rs.fluidFace, fl.reg.NGlob)
+		}
+	}
+	if rs.lts != nil {
+		rs.reconcilePointRates()
+		rs.initLTS()
+	}
+
 	for i := range sim.Sources {
 		src := &sim.Sources[i]
 		if src.Rank != rank {
@@ -232,9 +278,46 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 	return rs
 }
 
+// couplingFacePoints returns the sorted distinct fluid-side points of
+// the CMB and ICB coupling faces.
+func couplingFacePoints(l *mesh.Local, nglob int) []int32 {
+	mark := make([]bool, nglob)
+	for _, faces := range [][]mesh.CoupleFace{l.CMB, l.ICB} {
+		for fi := range faces {
+			for _, p := range faces[fi].FluidPt {
+				mark[p] = true
+			}
+		}
+	}
+	var out []int32
+	for p, m := range mark {
+		if m {
+			out = append(out, int32(p))
+		}
+	}
+	return out
+}
+
+// complementSorted returns the ascending points of [0, n) not in the
+// ascending list pts.
+func complementSorted(pts []int32, n int) []int32 {
+	out := make([]int32, 0, n-len(pts))
+	j := 0
+	for p := 0; p < n; p++ {
+		if j < len(pts) && pts[j] == int32(p) {
+			j++
+			continue
+		}
+		out = append(out, int32(p))
+	}
+	return out
+}
+
 // newAttState builds memory-variable storage and per-element update
-// coefficients for a solid region.
-func newAttState(reg *mesh.Region, fit *earthmodel.SLSFit, dt float64) *attState {
+// coefficients for a solid region. rates, when non-nil, holds each
+// element's LTS firing rate: a rate-r element advances its recursions
+// only every r-th step, so its coefficients use r*dt.
+func newAttState(reg *mesh.Region, fit *earthmodel.SLSFit, dt float64, rates []int32) *attState {
 	a := &attState{nsls: fit.NSLS}
 	a.alpha = make([][]float32, fit.NSLS)
 	a.beta = make([][]float32, fit.NSLS)
@@ -252,7 +335,11 @@ func newAttState(reg *mesh.Region, fit *earthmodel.SLSFit, dt float64) *attState
 		if q <= 0 {
 			q = math.Inf(1)
 		}
-		alpha, beta := fit.MechanismCoefficients(q, dt)
+		dte := dt
+		if rates != nil {
+			dte = dt * float64(rates[e])
+		}
+		alpha, beta := fit.MechanismCoefficients(q, dte)
 		for k := 0; k < fit.NSLS; k++ {
 			a.alpha[k][e] = float32(alpha[k])
 			a.beta[k][e] = float32(beta[k])
@@ -346,16 +433,39 @@ func (rs *rankState) assembleScalar(kind int, vals []float32) {
 // beginAssembleScalar packs and sends this rank's contributions for a
 // scalar field and posts the receives. Halo-point entries of vals must
 // be final before the call; only non-halo points may be written between
-// begin and finish.
+// begin and finish. Under LTS, the current level's edge masks shrink
+// the payloads to the firing positions (both endpoints agree after the
+// point-rate reconciliation), and fully dormant edges are skipped.
 func (rs *rankState) beginAssembleScalar(kind int, vals []float32) *pendingExchange {
 	// Consume a tag unconditionally so sequence numbers stay aligned
 	// across ranks even when this rank has no edges for the region.
 	tag := rs.nextTag()
 	p := &pendingExchange{}
 	edges := rs.plan.Edges[kind]
+	masks := rs.edgeMask(kind)
 	// Send own contributions first (copied before any adds).
 	for i := range edges {
 		e := &edges[i]
+		if masks != nil && masks[i] != nil {
+			m := masks[i]
+			if len(m) == 0 {
+				continue // no firing point on this edge this step
+			}
+			buf := make([]float32, len(m))
+			for j, pos := range m {
+				buf[j] = vals[e.Idx[pos]]
+			}
+			rs.comm.Isend(e.Peer, tag, buf)
+			p.recvs = append(p.recvs, haloRecv{
+				wait: rs.postRecv(e.Peer, tag),
+				apply: func(got []float32) {
+					for j, pos := range m {
+						vals[e.Idx[pos]] += got[j]
+					}
+				},
+			})
+			continue
+		}
 		buf := make([]float32, len(e.Idx))
 		for j, idx := range e.Idx {
 			buf[j] = vals[idx]
@@ -380,13 +490,41 @@ func (rs *rankState) assembleVector(kind int, x, y, z []float32) {
 }
 
 // beginAssembleVector is beginAssembleScalar for three-component
-// fields.
+// fields (including its LTS edge masking).
 func (rs *rankState) beginAssembleVector(kind int, x, y, z []float32) *pendingExchange {
 	tag := rs.nextTag()
 	p := &pendingExchange{}
 	edges := rs.plan.Edges[kind]
+	masks := rs.edgeMask(kind)
 	for i := range edges {
 		e := &edges[i]
+		if masks != nil && masks[i] != nil {
+			m := masks[i]
+			if len(m) == 0 {
+				continue
+			}
+			n := len(m)
+			buf := make([]float32, 3*n)
+			for j, pos := range m {
+				idx := e.Idx[pos]
+				buf[j] = x[idx]
+				buf[n+j] = y[idx]
+				buf[2*n+j] = z[idx]
+			}
+			rs.comm.Isend(e.Peer, tag, buf)
+			p.recvs = append(p.recvs, haloRecv{
+				wait: rs.postRecv(e.Peer, tag),
+				apply: func(got []float32) {
+					for j, pos := range m {
+						idx := e.Idx[pos]
+						x[idx] += got[j]
+						y[idx] += got[n+j]
+						z[idx] += got[2*n+j]
+					}
+				},
+			})
+			continue
+		}
 		n := len(e.Idx)
 		buf := make([]float32, 3*n)
 		for j, idx := range e.Idx {
@@ -416,23 +554,55 @@ func (rs *rankState) assembleSolidCombined() {
 	rs.beginAssembleSolidCombined().finish()
 }
 
+// combinedPart is one region's share of a combined-halo message: the
+// edge and, under LTS, the firing-position mask (masked with an empty
+// mask means the region contributes nothing this step).
+type combinedPart struct {
+	e      *mesh.HaloEdge
+	mask   []int32
+	masked bool
+}
+
+// points returns how many shared points the part contributes.
+func (cp *combinedPart) points() int {
+	switch {
+	case cp.e == nil:
+		return 0
+	case cp.masked:
+		return len(cp.mask)
+	default:
+		return len(cp.e.Idx)
+	}
+}
+
 // beginAssembleSolidCombined packs both solid regions' boundary
 // accelerations into one message per neighbor and posts the receives.
-// Peers of either region receive one combined buffer.
+// Peers of either region receive one combined buffer. Under LTS the
+// per-region edge masks shrink each part to the firing positions, and
+// a peer with nothing firing in either region is skipped this step.
 func (rs *rankState) beginAssembleSolidCombined() *pendingExchange {
 	cm := rs.solid[earthmodel.RegionCrustMantle]
 	ic := rs.solid[earthmodel.RegionInnerCore]
 	cmEdges := rs.plan.Edges[earthmodel.RegionCrustMantle]
 	icEdges := rs.plan.Edges[earthmodel.RegionInnerCore]
-	peers := map[int][2]*mesh.HaloEdge{}
+	cmMasks := rs.edgeMask(int(earthmodel.RegionCrustMantle))
+	icMasks := rs.edgeMask(int(earthmodel.RegionInnerCore))
+	part := func(e *mesh.HaloEdge, masks [][]int32, i int) combinedPart {
+		cp := combinedPart{e: e}
+		if masks != nil && masks[i] != nil {
+			cp.mask, cp.masked = masks[i], true
+		}
+		return cp
+	}
+	peers := map[int][2]combinedPart{}
 	for i := range cmEdges {
 		pe := peers[cmEdges[i].Peer]
-		pe[0] = &cmEdges[i]
+		pe[0] = part(&cmEdges[i], cmMasks, i)
 		peers[cmEdges[i].Peer] = pe
 	}
 	for i := range icEdges {
 		pe := peers[icEdges[i].Peer]
-		pe[1] = &icEdges[i]
+		pe[1] = part(&icEdges[i], icMasks, i)
 		peers[icEdges[i].Peer] = pe
 	}
 	tag := rs.nextTag()
@@ -446,26 +616,40 @@ func (rs *rankState) beginAssembleSolidCombined() *pendingExchange {
 		order = append(order, peer)
 	}
 	sort.Ints(order)
-	pack := func(f *solidField, e *mesh.HaloEdge, buf []float32) []float32 {
-		if e == nil {
+	pack := func(f *solidField, cp combinedPart, buf []float32) []float32 {
+		n := cp.points()
+		if n == 0 {
 			return buf
 		}
-		n := len(e.Idx)
 		base := len(buf)
 		buf = append(buf, make([]float32, 3*n)...)
-		for j, idx := range e.Idx {
+		at := func(j int) int32 {
+			if cp.masked {
+				return cp.e.Idx[cp.mask[j]]
+			}
+			return cp.e.Idx[j]
+		}
+		for j := 0; j < n; j++ {
+			idx := at(j)
 			buf[base+j] = f.ax[idx]
 			buf[base+n+j] = f.ay[idx]
 			buf[base+2*n+j] = f.az[idx]
 		}
 		return buf
 	}
-	unpack := func(f *solidField, e *mesh.HaloEdge, got []float32, off int) int {
-		if e == nil {
+	unpack := func(f *solidField, cp combinedPart, got []float32, off int) int {
+		n := cp.points()
+		if n == 0 {
 			return off
 		}
-		n := len(e.Idx)
-		for j, idx := range e.Idx {
+		at := func(j int) int32 {
+			if cp.masked {
+				return cp.e.Idx[cp.mask[j]]
+			}
+			return cp.e.Idx[j]
+		}
+		for j := 0; j < n; j++ {
+			idx := at(j)
 			f.ax[idx] += got[off+j]
 			f.ay[idx] += got[off+n+j]
 			f.az[idx] += got[off+2*n+j]
@@ -474,6 +658,9 @@ func (rs *rankState) beginAssembleSolidCombined() *pendingExchange {
 	}
 	for _, peer := range order {
 		pe := peers[peer]
+		if pe[0].points()+pe[1].points() == 0 {
+			continue // nothing firing toward this peer; both sides agree
+		}
 		var buf []float32
 		buf = pack(cm, pe[0], buf)
 		buf = pack(ic, pe[1], buf)

@@ -308,11 +308,13 @@ func (rs *rankState) addFluidTractionToSolid(faces []mesh.CoupleFace) {
 	if fl == nil {
 		return
 	}
+	// rs.chiSrc is fl.chiDdot, or the held LTS shadow when the fluid is
+	// multi-rate (the face values a dormant fluid last produced).
 	for fi := range faces {
 		cf := &faces[fi]
 		f := rs.solid[cf.SolidKind]
 		for q := 0; q < mesh.NGLL2; q++ {
-			chidd := fl.chiDdot[cf.FluidPt[q]]
+			chidd := rs.chiSrc[cf.FluidPt[q]]
 			w := cf.Weight[q]
 			sp := cf.SolidPt[q]
 			f.ax[sp] -= w * cf.Nx[q] * chidd

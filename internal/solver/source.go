@@ -82,6 +82,11 @@ func (rs *rankState) prepareSource(src *Source) sourceLocal {
 }
 
 // addSources injects the source forces for the current step time.
+// Under LTS a rate-r source element fires only at steps divisible by r
+// and advances to (step+r)*dt when it does, so its source-time function
+// is sampled there; injecting on a dormant step would be discarded by
+// the firing points' own schedule anyway. Rate-1 elements keep the
+// single-rate sampling time (step+1)*dt exactly.
 func (rs *rankState) addSources(step int) {
 	if len(rs.sources) == 0 {
 		return
@@ -93,7 +98,17 @@ func (rs *rankState) addSources(step int) {
 		if f == nil {
 			continue
 		}
-		stf := float32(sl.src.STF(t))
+		te := t
+		if rs.lts != nil {
+			if rates := rs.lts.clus.ElemRate[sl.src.Kind]; rates != nil {
+				r := int(rates[sl.src.Elem])
+				if step%r != 0 {
+					continue
+				}
+				te = float64(step+r) * rs.dt
+			}
+		}
+		stf := float32(sl.src.STF(te))
 		if stf == 0 {
 			continue
 		}
@@ -145,13 +160,22 @@ func (rs *rankState) prepareReceiver(rcv *Receiver, opts *Options, dt float64) r
 	return rl
 }
 
-// record appends one sample to every local seismogram.
-func (rs *rankState) record() {
+// record appends one sample to every local seismogram after step has
+// completed. Under LTS a rate-r point last fired at the latest multiple
+// of r <= step, so its state leads the nominal sample time by
+// lead = (r-1-(step%r))*dt; the sample is back-interpolated linearly,
+// d - lead*v. Points with lead == 0 (and all points without LTS) read
+// the displacement directly, keeping the rate-1 path bit-identical.
+func (rs *rankState) record(step int) {
 	for i := range rs.recvs {
 		rl := &rs.recvs[i]
 		f := rs.solid[rl.kind]
 		if f == nil {
 			continue
+		}
+		var pr []int32
+		if pts := rs.ltsPts(int(rl.kind)); pts != nil && !pts.single {
+			pr = rs.lts.clus.PointRate[rl.kind]
 		}
 		base := rl.elem * mesh.NGLL3
 		ib := f.reg.Ibool[base : base+mesh.NGLL3]
@@ -161,9 +185,23 @@ func (rs *rankState) record() {
 			if w == 0 {
 				continue
 			}
-			x += w * float64(f.dx[g])
-			y += w * float64(f.dy[g])
-			z += w * float64(f.dz[g])
+			var lead float64
+			if pr != nil {
+				if r := int(pr[g]); r > 1 {
+					// The point's state is at time (lastFire+r)*dt after
+					// its corrector; step's nominal sample time trails it.
+					lead = float64(r-1-(step%r)) * rs.dt
+				}
+			}
+			if lead == 0 {
+				x += w * float64(f.dx[g])
+				y += w * float64(f.dy[g])
+				z += w * float64(f.dz[g])
+			} else {
+				x += w * (float64(f.dx[g]) - lead*float64(f.vx[g]))
+				y += w * (float64(f.dy[g]) - lead*float64(f.vy[g]))
+				z += w * (float64(f.dz[g]) - lead*float64(f.vz[g]))
+			}
 		}
 		rl.out.X = append(rl.out.X, float32(x))
 		rl.out.Y = append(rl.out.Y, float32(y))

@@ -30,7 +30,18 @@ import (
 // as index ranges — every point is written independently, so both are
 // bit-identical at any worker count. Coupling, source and ocean-load
 // terms touch few points and stay inline on the rank goroutine.
+// With local time stepping (Options.LTS) the step becomes one spoke of
+// the cluster wheel: the firing level of the step (the largest power of
+// two dividing the step number, capped at the max rate) selects which
+// clusters run predictor/forces/corrector this step, each firing point
+// advancing with its own rate-scaled dt. Dormant points are skipped by
+// every pointwise loop and masked out of the halo payloads; their
+// acceleration slots accumulate garbage from firing neighbors, which
+// the predictor wipes at their next firing (see lts.go).
 func (rs *rankState) timeStep(step int) {
+	if rs.lts != nil {
+		rs.lts.level = ltsLevelOf(step, rs.lts.levels)
+	}
 	rs.predictor()
 	if rs.pipeline {
 		rs.forceStagePipelined(step)
@@ -40,17 +51,23 @@ func (rs *rankState) timeStep(step int) {
 	rs.solidUpdate()
 	rs.corrector()
 	if (step+1)%rs.opts.RecordEvery == 0 {
-		rs.record()
+		rs.record(step)
 	}
 }
 
-// predictor runs the Newmark prediction for every field.
+// predictor runs the Newmark prediction for every field: full-range
+// without LTS (or for a single-rate region), per-rate firing lists with
+// it.
 func (rs *rankState) predictor() {
 	dt := float32(rs.dt)
 	half := dt / 2
 	halfSq := dt * dt / 2
-	for _, f := range rs.solid {
+	for kind, f := range rs.solid {
 		if f == nil {
+			continue
+		}
+		if pts := rs.ltsPts(kind); pts != nil && !pts.single {
+			rs.solidPredictorLTS(f, pts)
 			continue
 		}
 		rs.pool.sweepRange(rs.scr, len(f.dx), &rs.updateBusy, func(lo, hi int) {
@@ -68,6 +85,10 @@ func (rs *rankState) predictor() {
 		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidPredictor*int64(len(f.dx)))
 	}
 	if fl := rs.fluid; fl != nil {
+		if pts := rs.ltsPts(int(earthmodel.RegionOuterCore)); pts != nil && !pts.single {
+			rs.fluidPredictorLTS(pts)
+			return
+		}
 		rs.pool.sweepRange(rs.scr, len(fl.chi), &rs.updateBusy, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				fl.chi[i] += dt*fl.chiDot[i] + halfSq*fl.chiDdot[i]
@@ -95,16 +116,23 @@ func (rs *rankState) forceStageSerial(step int) {
 	// boundary points and therefore always run before the post.
 	if rs.fluid != nil {
 		oc := int(earthmodel.RegionOuterCore)
-		first, second := rs.sweeps[oc].full, [][]int32(nil)
+		sw := rs.sweepsFor(oc)
+		first, second := sw.full, [][]int32(nil)
 		if rs.overlap {
-			first, second = rs.sweeps[oc].outer, rs.sweeps[oc].inner
+			first, second = sw.outer, sw.inner
 		}
 		rs.computeFluidForces(first)
 		rs.addFluidCoupling()
 		fluidHalo := rs.beginAssembleScalar(oc, rs.fluid.chiDdot)
 		rs.computeFluidForces(second)
 		fluidHalo.finish()
-		rs.fluidMassDivision()
+		if rs.fluidDeferred {
+			// Only the coupling-face points must be final before the
+			// traction; the rest divides under the solid halo.
+			rs.fluidMassDivisionFace()
+		} else {
+			rs.fluidMassDivision()
+		}
 	} else {
 		rs.nextTag() // keep the exchange sequence aligned
 	}
@@ -114,9 +142,10 @@ func (rs *rankState) forceStageSerial(step int) {
 		if f == nil {
 			continue
 		}
-		first := rs.sweeps[kind].full
+		sw := rs.sweepsFor(kind)
+		first := sw.full
 		if rs.overlap {
-			first = rs.sweeps[kind].outer
+			first = sw.outer
 		}
 		rs.computeSolidForces(f, first)
 	}
@@ -147,7 +176,7 @@ func (rs *rankState) forceStagePipelined(step int) {
 		oc := int(earthmodel.RegionOuterCore)
 		// (a) boundary-adjacent fluid forces: every halo point *and*
 		// every coupling point gets its full local element contribution.
-		rs.computeFluidForces(rs.sweeps[oc].boundary)
+		rs.computeFluidForces(rs.sweepsFor(oc).boundary)
 		rs.addFluidCoupling()
 		// (b) post the fluid halo.
 		fluidHalo = rs.beginAssembleScalar(oc, rs.fluid.chiDdot)
@@ -160,16 +189,20 @@ func (rs *rankState) forceStagePipelined(step int) {
 	// touch neither halo nor coupling points).
 	for kind, f := range rs.solid {
 		if f != nil {
-			rs.computeSolidForces(f, rs.sweeps[kind].outer)
+			rs.computeSolidForces(f, rs.sweepsFor(kind).outer)
 		}
 	}
 	if rs.fluid != nil {
 		oc := int(earthmodel.RegionOuterCore)
-		rs.computeFluidForces(rs.sweeps[oc].pipeInner)
+		rs.computeFluidForces(rs.sweepsFor(oc).pipeInner)
 		// (d) wait for the boundary-touching fluid values, finalize the
 		// potential, and only then couple it into the solid.
 		fluidHalo.finish()
-		rs.fluidMassDivision()
+		if rs.fluidDeferred {
+			rs.fluidMassDivisionFace()
+		} else {
+			rs.fluidMassDivision()
+		}
 	}
 	rs.addTractionAndSources(step)
 	rs.finishSolidStage()
@@ -185,16 +218,65 @@ func (rs *rankState) addFluidCoupling() {
 }
 
 // fluidMassDivision finalizes the fluid acceleration potential. All
-// element, coupling and halo contributions must be in.
+// element, coupling and halo contributions must be in. Under LTS only
+// the firing points are divided (the rest hold garbage that the next
+// predictor wipes), and the traction shadow is refreshed.
 func (rs *rankState) fluidMassDivision() {
 	fl := rs.fluid
-	rs.pool.sweepRange(rs.scr, len(fl.chiDdot), &rs.updateBusy, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	var list []int32
+	if pts := rs.ltsPts(int(earthmodel.RegionOuterCore)); pts != nil && !pts.single {
+		list = pts.upTo[rs.lts.level]
+	}
+	if list == nil {
+		rs.pool.sweepRange(rs.scr, len(fl.chiDdot), &rs.updateBusy, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fl.chiDdot[i] *= fl.massInv[i]
+			}
+		})
+		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidMassDiv*int64(len(fl.chiDdot)))
+		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidMassDiv*int64(len(fl.chiDdot)))
+	} else {
+		rs.divideFluidList(list)
+	}
+	rs.refreshTractionShadow()
+}
+
+// fluidMassDivisionFace divides only the CMB/ICB coupling-face points —
+// the values the solid traction consumes — so the remaining division
+// can slide under the solid halo (fluidMassDivisionRest).
+func (rs *rankState) fluidMassDivisionFace() {
+	list := rs.fluidFace
+	if lts := rs.lts; lts != nil && lts.faceUpTo != nil {
+		list = lts.faceUpTo[lts.level]
+	}
+	rs.divideFluidList(list)
+	rs.refreshTractionShadow()
+}
+
+// fluidMassDivisionRest divides the non-face fluid points; it runs
+// inside finishSolidStage, under the in-flight solid halo.
+func (rs *rankState) fluidMassDivisionRest() {
+	list := rs.fluidRest
+	if lts := rs.lts; lts != nil && lts.restUpTo != nil {
+		list = lts.restUpTo[lts.level]
+	}
+	rs.divideFluidList(list)
+}
+
+// divideFluidList applies the inverse mass to a point list.
+func (rs *rankState) divideFluidList(list []int32) {
+	fl := rs.fluid
+	if len(list) == 0 {
+		return
+	}
+	rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
+		for q := lo; q < hi; q++ {
+			i := list[q]
 			fl.chiDdot[i] *= fl.massInv[i]
 		}
 	})
-	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidMassDiv*int64(len(fl.chiDdot)))
-	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidMassDiv*int64(len(fl.chiDdot)))
+	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidMassDiv*int64(len(list)))
+	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidMassDiv*int64(len(list)))
 }
 
 // addTractionAndSources applies the boundary terms of the solid stage:
@@ -211,6 +293,10 @@ func (rs *rankState) addTractionAndSources(step int) {
 // finishSolidStage posts the solid halo exchange (every halo point's
 // local contribution — outer forces, traction, sources — is fixed by
 // now), runs the solid inner sweeps while it is in flight, and waits.
+// The deferred fluid work — non-face mass division and the fluid
+// corrector — also rides under the in-flight solid halo here: the halo
+// only touches solid acceleration arrays, so the fluid update is free
+// hiding material.
 func (rs *rankState) finishSolidStage() {
 	var solidHalo []*pendingExchange
 	if rs.opts.CombinedSolidHalo {
@@ -233,9 +319,13 @@ func (rs *rankState) finishSolidStage() {
 		// boundary messages are in flight.
 		for kind, f := range rs.solid {
 			if f != nil {
-				rs.computeSolidForces(f, rs.sweeps[kind].inner)
+				rs.computeSolidForces(f, rs.sweepsFor(kind).inner)
 			}
 		}
+	}
+	if rs.fluidDeferred {
+		rs.fluidMassDivisionRest()
+		rs.fluidCorrector()
 	}
 	for _, p := range solidHalo {
 		p.finish()
@@ -244,45 +334,76 @@ func (rs *rankState) finishSolidStage() {
 
 // solidUpdate is the mass division plus the pointwise Coriolis and
 // gravity corrections, fused into one range sweep per field, followed
-// by the ocean load.
+// by the ocean load. Under LTS only the points firing at this step's
+// level are updated; dormant accelerations keep their garbage until
+// their own predictor wipes it.
 func (rs *rankState) solidUpdate() {
 	twoOmega := float32(0)
 	if rs.opts.Rotation {
 		twoOmega = float32(2 * rs.opts.RotationRate)
 	}
-	for _, f := range rs.solid {
+	for kind, f := range rs.solid {
 		if f == nil {
 			continue
 		}
-		rs.pool.sweepRange(rs.scr, len(f.ax), &rs.updateBusy, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				f.ax[i] *= f.massInv[i]
-				f.ay[i] *= f.massInv[i]
-				f.az[i] *= f.massInv[i]
-			}
-			// Coriolis: a -= 2 Omega x v with Omega = (0, 0, omega).
-			// The lumped-mass form is exact pointwise because both the
-			// force and the mass carry the same rho*JacW weights.
-			if twoOmega != 0 {
-				for i := lo; i < hi; i++ {
-					f.ax[i] += twoOmega * f.vy[i]
-					f.ay[i] -= twoOmega * f.vx[i]
+		var list []int32
+		if pts := rs.ltsPts(kind); pts != nil && !pts.single {
+			list = pts.upTo[rs.lts.level]
+		}
+		n := len(f.ax)
+		if list != nil {
+			n = len(list)
+			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
+				for q := lo; q < hi; q++ {
+					i := list[q]
+					f.ax[i] *= f.massInv[i]
+					f.ay[i] *= f.massInv[i]
+					f.az[i] *= f.massInv[i]
+					if twoOmega != 0 {
+						f.ax[i] += twoOmega * f.vy[i]
+						f.ay[i] -= twoOmega * f.vx[i]
+					}
+					if f.gOverR != nil {
+						ur := f.dx[i]*f.rhatX[i] + f.dy[i]*f.rhatY[i] + f.dz[i]*f.rhatZ[i]
+						gr := f.gOverR[i]
+						dg := f.dgdr[i]
+						f.ax[i] -= gr*(f.dx[i]-ur*f.rhatX[i]) + dg*ur*f.rhatX[i]
+						f.ay[i] -= gr*(f.dy[i]-ur*f.rhatY[i]) + dg*ur*f.rhatY[i]
+						f.az[i] -= gr*(f.dz[i]-ur*f.rhatZ[i]) + dg*ur*f.rhatZ[i]
+					}
 				}
-			}
-			// Background gravity (Cowling-style local term): the
-			// linearized restoring tensor H = (g/r)(I - rhat rhat)
-			// + (dg/dr) rhat rhat applied to the displacement.
-			if f.gOverR != nil {
+			})
+		} else {
+			rs.pool.sweepRange(rs.scr, len(f.ax), &rs.updateBusy, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					ur := f.dx[i]*f.rhatX[i] + f.dy[i]*f.rhatY[i] + f.dz[i]*f.rhatZ[i]
-					gr := f.gOverR[i]
-					dg := f.dgdr[i]
-					f.ax[i] -= gr*(f.dx[i]-ur*f.rhatX[i]) + dg*ur*f.rhatX[i]
-					f.ay[i] -= gr*(f.dy[i]-ur*f.rhatY[i]) + dg*ur*f.rhatY[i]
-					f.az[i] -= gr*(f.dz[i]-ur*f.rhatZ[i]) + dg*ur*f.rhatZ[i]
+					f.ax[i] *= f.massInv[i]
+					f.ay[i] *= f.massInv[i]
+					f.az[i] *= f.massInv[i]
 				}
-			}
-		})
+				// Coriolis: a -= 2 Omega x v with Omega = (0, 0, omega).
+				// The lumped-mass form is exact pointwise because both the
+				// force and the mass carry the same rho*JacW weights.
+				if twoOmega != 0 {
+					for i := lo; i < hi; i++ {
+						f.ax[i] += twoOmega * f.vy[i]
+						f.ay[i] -= twoOmega * f.vx[i]
+					}
+				}
+				// Background gravity (Cowling-style local term): the
+				// linearized restoring tensor H = (g/r)(I - rhat rhat)
+				// + (dg/dr) rhat rhat applied to the displacement.
+				if f.gOverR != nil {
+					for i := lo; i < hi; i++ {
+						ur := f.dx[i]*f.rhatX[i] + f.dy[i]*f.rhatY[i] + f.dz[i]*f.rhatZ[i]
+						gr := f.gOverR[i]
+						dg := f.dgdr[i]
+						f.ax[i] -= gr*(f.dx[i]-ur*f.rhatX[i]) + dg*ur*f.rhatX[i]
+						f.ay[i] -= gr*(f.dy[i]-ur*f.rhatY[i]) + dg*ur*f.rhatY[i]
+						f.az[i] -= gr*(f.dz[i]-ur*f.rhatZ[i]) + dg*ur*f.rhatZ[i]
+					}
+				}
+			})
+		}
 		flops := rs.fc.SolidMassDiv
 		bytes := rs.bc.SolidMassDiv
 		if twoOmega != 0 {
@@ -293,8 +414,8 @@ func (rs *rankState) solidUpdate() {
 			flops += rs.fc.Gravity
 			bytes += rs.bc.Gravity
 		}
-		rs.prof.AddFlops(perf.PhaseUpdate, flops*int64(len(f.ax)))
-		rs.prof.AddBytes(perf.PhaseUpdate, bytes*int64(len(f.ax)))
+		rs.prof.AddFlops(perf.PhaseUpdate, flops*int64(n))
+		rs.prof.AddBytes(perf.PhaseUpdate, bytes*int64(n))
 	}
 	// Ocean load: rescale the normal component of the free-surface
 	// acceleration by M/(M+Mw). Few points; inline.
@@ -315,11 +436,17 @@ func (rs *rankState) solidUpdate() {
 	}
 }
 
-// corrector runs the Newmark correction for every field.
+// corrector runs the Newmark correction for every field. The fluid
+// correction is skipped here when it already ran under the solid halo
+// (fluidDeferred, see finishSolidStage).
 func (rs *rankState) corrector() {
 	half := float32(rs.dt) / 2
-	for _, f := range rs.solid {
+	for kind, f := range rs.solid {
 		if f == nil {
+			continue
+		}
+		if pts := rs.ltsPts(kind); pts != nil && !pts.single {
+			rs.solidCorrectorLTS(f, pts)
 			continue
 		}
 		rs.pool.sweepRange(rs.scr, len(f.vx), &rs.updateBusy, func(lo, hi int) {
@@ -332,13 +459,32 @@ func (rs *rankState) corrector() {
 		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.SolidCorrector*int64(len(f.vx)))
 		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidCorrector*int64(len(f.vx)))
 	}
-	if fl := rs.fluid; fl != nil {
-		rs.pool.sweepRange(rs.scr, len(fl.chiDot), &rs.updateBusy, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				fl.chiDot[i] += half * fl.chiDdot[i]
-			}
-		})
-		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidCorrector*int64(len(fl.chiDot)))
-		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidCorrector*int64(len(fl.chiDot)))
+	if !rs.fluidDeferred {
+		rs.fluidCorrector()
 	}
+}
+
+// fluidCorrector runs the fluid Newmark correction. It is called from
+// corrector in the blocking schedule, and from finishSolidStage —
+// under the in-flight solid halo — when the fluid update is deferred.
+// The fluid arrays are final after the full mass division either way,
+// and the per-point arithmetic is identical, so moving it earlier does
+// not change the values.
+func (rs *rankState) fluidCorrector() {
+	fl := rs.fluid
+	if fl == nil {
+		return
+	}
+	if pts := rs.ltsPts(int(earthmodel.RegionOuterCore)); pts != nil && !pts.single {
+		rs.fluidCorrectorLTS(pts)
+		return
+	}
+	half := float32(rs.dt) / 2
+	rs.pool.sweepRange(rs.scr, len(fl.chiDot), &rs.updateBusy, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fl.chiDot[i] += half * fl.chiDdot[i]
+		}
+	})
+	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidCorrector*int64(len(fl.chiDot)))
+	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidCorrector*int64(len(fl.chiDot)))
 }
