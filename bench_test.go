@@ -19,12 +19,14 @@ import (
 	"testing"
 	"time"
 
+	"specglobe/internal/boxmesh"
 	"specglobe/internal/earthmodel"
 	"specglobe/internal/experiments"
 	"specglobe/internal/mesh"
 	"specglobe/internal/meshfem"
 	"specglobe/internal/meshio"
 	"specglobe/internal/mpi"
+	"specglobe/internal/perf"
 	"specglobe/internal/perfmodel"
 	"specglobe/internal/renumber"
 	"specglobe/internal/solver"
@@ -1045,4 +1047,208 @@ func TestWriteBenchPR7(t *testing.T) {
 	writeBenchJSON(t, "BENCH_PR7.json", snap)
 	t.Logf("single-rate %.2f steps/s, LTS %.2f steps/s (%.2fx, theory %.2fx, rates %v)",
 		ss, ls, ls/ss, info.UpdateReduction, info.ElemsByRate)
+}
+
+// buildBenchBox builds the single-rank homogeneous box of the BATCH
+// ablation (a 40 km crust-mantle cube) plus an interior source at its
+// center.
+func buildBenchBox(b testing.TB, n int) (*boxmesh.Box, solver.Source) {
+	b.Helper()
+	const L = 40e3
+	box, err := boxmesh.Build(boxmesh.Config{
+		Nx: n, Ny: n, Nz: n, Lx: L, Ly: L, Lz: L, NRanks: 1,
+		Mat: earthmodel.Material{Rho: 2700, Vp: 8000, Vs: 4500, Qmu: 60, Qkappa: 57823},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rank, elem, ref, err := box.Locate(L/2, L/2, L/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const m0 = 1e15
+	return box, solver.Source{
+		Rank: rank, Kind: earthmodel.RegionCrustMantle, Elem: elem, Ref: ref,
+		MomentTensor: [3][3]float64{{m0, 0, 0}, {0, m0, 0}, {0, 0, m0}},
+		STF:          solver.RickerSTF(1.0, 1.2),
+	}
+}
+
+// ensembleOf replicates src into an S-wide batch, one field per copy.
+// Identical sources make any cross-field leak show up as an
+// identical-output violation in the correctness tests; for throughput
+// the per-field work is the same either way.
+func ensembleOf(src solver.Source, s int) []solver.Source {
+	srcs := make([]solver.Source, s)
+	for i := range srcs {
+		srcs[i] = src
+		srcs[i].Field = i
+	}
+	return srcs
+}
+
+// BenchmarkBatchedSources measures multi-source ensemble batching on the
+// BATCH ablation meshes: S independent wavefields advanced through ONE
+// time loop over one shared mesh, so each element's static loads stream
+// once for the whole ensemble and each neighbor gets one aggregated halo
+// message per exchange. The reported src-steps/sec is steps * S / wall —
+// a batched run beats S sequential single-source runs exactly when it
+// exceeds the S=1 row of the same kernel.
+func BenchmarkBatchedSources(b *testing.B) {
+	box, boxSrc := buildBenchBox(b, 10)
+	g := buildBenchGlobeDoubled(b, 8, 1, doublingRadii)
+	meshes := []struct {
+		name   string
+		locals []*mesh.Local
+		plans  []*mesh.HaloPlan
+		model  earthmodel.Model
+		src    solver.Source
+	}{
+		{"box", box.Locals, box.Plans, nil, boxSrc},
+		{"globe-dbl", g.Locals, g.Plans, earthLike(), benchSource(b, g)},
+	}
+	for _, m := range meshes {
+		for _, kv := range []solver.Kernel{solver.KernelScalar, solver.KernelFused} {
+			for _, s := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/S%d", m.name, kv, s), func(b *testing.B) {
+					srcs := ensembleOf(m.src, s)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						const steps = 3
+						res, err := solver.Run(&solver.Simulation{
+							Locals: m.locals, Plans: m.plans, Model: m.model,
+							Sources: srcs,
+							Opts:    solver.Options{Steps: steps, Kernel: kv, Workers: 1},
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportMetric(res.SourceStepsPerSec, "src-steps/sec")
+						b.ReportMetric(res.Perf.ArithmeticIntensity(perf.PhaseForceSolid.String()), "solid-AI")
+					}
+				})
+			}
+		}
+	}
+}
+
+// benchPR8Row is one batched measurement of BENCH_PR8.json.
+type benchPR8Row struct {
+	Kernel             string  `json:"kernel"`
+	Sources            int     `json:"sources"`
+	StepsSec           float64 `json:"steps_per_sec"`
+	SourceStepsSec     float64 `json:"source_steps_per_sec"`
+	SpeedupSameKernel  float64 `json:"speedup_vs_s1_same_kernel"`
+	SpeedupVsSeqScalar float64 `json:"speedup_vs_sequential_scalar"`
+	SolidAI            float64 `json:"solid_ai"`
+}
+
+// benchPR8Snapshot is the schema of BENCH_PR8.json: the perf-trajectory
+// data point for multi-source ensemble batching on the box mesh at
+// Workers=1, beside the sequential single-source baselines of every
+// kernel generation.
+type benchPR8Snapshot struct {
+	PR        int    `json:"pr"`
+	Benchmark string `json:"benchmark"`
+	benchEnv
+	BoxN    int `json:"box_n"`
+	Steps   int `json:"steps"`
+	Workers int `json:"workers"`
+
+	SeqScalarStepsSec float64       `json:"sequential_scalar_steps_per_sec"`
+	SeqVec4StepsSec   float64       `json:"sequential_vec4_steps_per_sec"`
+	SeqFusedStepsSec  float64       `json:"sequential_fused_steps_per_sec"`
+	Batched           []benchPR8Row `json:"batched"`
+	Note              string        `json:"note"`
+}
+
+// TestWriteBenchPR8 regenerates BENCH_PR8.json. It only runs when
+// BENCH_SNAPSHOT=1 is set (it measures wall time, which is meaningless
+// on a loaded CI runner):
+//
+//	BENCH_SNAPSHOT=1 go test -run TestWriteBenchPR8 .
+func TestWriteBenchPR8(t *testing.T) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		t.Skip("set BENCH_SNAPSHOT=1 to rewrite BENCH_PR8.json")
+	}
+	const boxN, steps, reps = 10, 16, 3
+	box, src := buildBenchBox(t, boxN)
+	run := func(kv solver.Kernel, s int) *solver.Result {
+		var best *solver.Result
+		for r := 0; r < reps; r++ { // best-of to shed scheduler noise
+			res, err := solver.Run(&solver.Simulation{
+				Locals: box.Locals, Plans: box.Plans,
+				Sources: ensembleOf(src, s),
+				Opts:    solver.Options{Steps: steps, Kernel: kv, Workers: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best == nil || res.Perf.WallTime < best.Perf.WallTime {
+				best = res
+			}
+		}
+		return best
+	}
+	stepsSec := func(res *solver.Result) float64 { return steps / res.Perf.WallTime.Seconds() }
+
+	seqScalar := stepsSec(run(solver.KernelScalar, 1))
+	seqVec4 := stepsSec(run(solver.KernelVec4, 1))
+	seqFused := stepsSec(run(solver.KernelFused, 1))
+
+	snap := benchPR8Snapshot{
+		PR: 8, Benchmark: "BenchmarkBatchedSources",
+		benchEnv: currentBenchEnv(),
+		BoxN:     boxN, Steps: steps, Workers: 1,
+		SeqScalarStepsSec: seqScalar, SeqVec4StepsSec: seqVec4, SeqFusedStepsSec: seqFused,
+		Note: "src-steps/sec = steps*S/wall. speedup_vs_sequential_scalar compares the " +
+			"batched ensemble against S sequential single-source scalar runs, whose " +
+			"aggregate src-steps/sec equals the single-run steps/sec (S x the work in " +
+			"S x the time); the batched fused ensemble sweep is " +
+			"this PR's engine and did not exist before it. speedup_vs_s1_same_kernel " +
+			"isolates the batching margin alone, which is small in wall time here: the " +
+			"static-byte amortization that lifts solid_ai with S is analytic, these " +
+			"laptop-scale meshes are cache-resident, and scalar Go arithmetic keeps the " +
+			"kernels FP-bound, so the memory-side saving barely moves the clock",
+	}
+	ai := map[int]float64{}
+	for _, kv := range []solver.Kernel{solver.KernelScalar, solver.KernelFused} {
+		var base float64
+		for _, s := range []int{1, 2, 4, 8} {
+			res := run(kv, s)
+			row := benchPR8Row{
+				Kernel: kv.String(), Sources: s,
+				StepsSec:       stepsSec(res),
+				SourceStepsSec: res.SourceStepsPerSec,
+				SolidAI:        res.Perf.ArithmeticIntensity(perf.PhaseForceSolid.String()),
+				// S sequential single-source runs do S x the work in S x
+				// the time, so their aggregate src-steps/sec IS the
+				// single-run steps/sec.
+				SpeedupVsSeqScalar: res.SourceStepsPerSec / seqScalar,
+			}
+			if s == 1 {
+				base = row.SourceStepsSec
+			}
+			row.SpeedupSameKernel = row.SourceStepsSec / base
+			if kv == solver.KernelFused {
+				ai[s] = row.SolidAI
+			}
+			snap.Batched = append(snap.Batched, row)
+			if kv == solver.KernelFused && s == 4 {
+				// The acceptance bar: the S=4 batched fused ensemble must
+				// deliver >= 1.3x the aggregate throughput of 4 sequential
+				// single-source runs of the pre-batching scalar kernel.
+				if row.SourceStepsSec < 1.3*seqScalar {
+					t.Errorf("batched fused S=4: %.2f src-steps/s < 1.3x sequential scalar %.2f steps/s",
+						row.SourceStepsSec, seqScalar)
+				}
+			}
+		}
+	}
+	if !(ai[4] > ai[1]) {
+		t.Errorf("solid AI did not rise with batching: AI(4)=%.3f vs AI(1)=%.3f", ai[4], ai[1])
+	}
+	writeBenchJSON(t, "BENCH_PR8.json", snap)
+	t.Logf("sequential scalar/vec4/fused %.2f/%.2f/%.2f steps/s; batched rows: %+v",
+		seqScalar, seqVec4, seqFused, snap.Batched)
 }

@@ -208,6 +208,18 @@ func experimentList() []experiment {
 			},
 		},
 		{
+			id: "BATCH", desc: "multi-source ensemble batching: S x kernel, source-steps/s, AI vs S",
+			run: func(quick bool) (fmt.Stringer, error) {
+				boxN, globeNex, steps := 10, 8, 16
+				sizes := []int{1, 2, 4, 8}
+				if quick {
+					boxN, steps = 4, 4
+					sizes = []int{1, 2}
+				}
+				return experiments.BatchAblation(boxN, globeNex, steps, sizes, 1)
+			},
+		},
+		{
 			id: "SSE20", desc: "force-kernel variants: vec4 vs scalar vs BLAS",
 			run: func(quick bool) (fmt.Stringer, error) {
 				nex, steps := 8, 10

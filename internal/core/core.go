@@ -154,132 +154,41 @@ type Report struct {
 	StationErrors float64 // worst station location residual (m)
 }
 
-// Run executes a full simulation.
+// Run executes a full simulation: it builds a one-shot Session and runs
+// the Config's event/station scenario on it.
 func Run(cfg Config) (*Report, error) {
-	if cfg.Model == nil {
-		cfg.Model = earthmodel.NewPREM()
-	}
-	rep := &Report{Config: cfg}
-
-	t0 := time.Now()
-	globe, err := meshfem.Build(meshfem.Config{
-		NexXi:            cfg.NexXi,
-		NProcXi:          cfg.NProcXi,
-		Model:            cfg.Model,
-		Doublings:        cfg.Doublings,
-		AutoDoubling:     cfg.AutoDoubling,
-		TwoPassMaterials: cfg.TwoPassMesher,
-	})
+	s, err := NewSession(cfg)
 	if err != nil {
 		return nil, err
 	}
-	rep.MesherTime = time.Since(t0)
-	rep.Globe = globe
-	rep.ShortestPeriod = globe.ShortestPeriod
-	rep.Load = mesh.ComputeLoadStats(globe.Locals)
-	rep.Resolution = mesh.ComputeResolutionStats(globe.Locals, globe.ShortestPeriod)
-
-	locals, plans := globe.Locals, globe.Plans
-	if cfg.LegacyIO {
-		dir := cfg.LegacyDir
-		if dir == "" {
-			var err error
-			dir, err = os.MkdirTemp("", "specglobe-db-")
-			if err != nil {
-				return nil, err
-			}
-			defer os.RemoveAll(dir)
-		}
-		st, err := meshio.WriteAllRanks(dir, locals, plans)
-		if err != nil {
-			return nil, fmt.Errorf("core: legacy write: %w", err)
-		}
-		locals, plans, err = meshio.ReadAllRanks(dir, len(locals))
-		if err != nil {
-			return nil, fmt.Errorf("core: legacy read: %w", err)
-		}
-		rep.IO = st
-	} else {
-		rep.IO = meshio.MergedHandoff(locals)
-	}
-
-	// Source.
-	srcLoc, err := globe.LocateLatLonDepth(cfg.Event.LatDeg, cfg.Event.LonDeg, cfg.Event.DepthM)
-	if err != nil {
-		return nil, fmt.Errorf("core: locating event: %w", err)
-	}
-	if srcLoc.Kind == earthmodel.RegionOuterCore {
-		return nil, fmt.Errorf("core: event at depth %g m falls in the fluid outer core", cfg.Event.DepthM)
-	}
-	hd := cfg.Event.HalfDurationSec
-	if hd <= 0 {
-		hd = 10
-	}
-	src := solver.Source{
-		Rank: srcLoc.Rank, Kind: srcLoc.Kind, Elem: srcLoc.Elem, Ref: srcLoc.Ref,
-		MomentTensor: cfg.Event.CartesianMomentTensor(),
-		STF:          solver.GaussianSTF(hd, 2.5*hd),
-	}
-
-	// Stations.
-	var located []stations.Located
-	for _, st := range cfg.Stations {
-		l, err := stations.LocateFast(globe, st, cfg.SnapStations)
-		if err != nil {
-			return nil, err
-		}
-		located = append(located, l)
-	}
-	rep.StationErrors = stations.MaxLocationError(located)
-
-	// Steps.
-	steps := cfg.Steps
-	if steps <= 0 {
-		dt := cfg.Dt
-		if dt <= 0 {
-			dt = globe.StableDt(0.3)
-		}
-		if cfg.RecordSeconds <= 0 {
-			return nil, fmt.Errorf("core: need Steps or RecordSeconds")
-		}
-		steps = int(math.Ceil(cfg.RecordSeconds / dt))
-	}
-
-	t1 := time.Now()
-	res, err := solver.Run(&solver.Simulation{
-		Locals:    locals,
-		Plans:     plans,
-		Model:     cfg.Model,
-		Sources:   []solver.Source{src},
-		Receivers: stations.ToReceivers(located),
-		Opts: solver.Options{
-			Dt:                cfg.Dt,
-			Steps:             steps,
-			Attenuation:       cfg.Attenuation,
-			Rotation:          cfg.Rotation,
-			Gravity:           cfg.Gravity,
-			OceanLoad:         cfg.OceanLoad,
-			Kernel:            cfg.Kernel,
-			CombinedSolidHalo: cfg.CombinedSolidHalo,
-			RecordEvery:       cfg.RecordEvery,
-			EnergyEvery:       cfg.EnergyEvery,
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	rep.SolverTime = time.Since(t1)
-	rep.Result = res
-	return rep, nil
+	return s.Run(Scenario{Name: cfg.Event.Name, Event: cfg.Event, Stations: cfg.Stations})
 }
 
 // WriteSeismograms writes every recorded seismogram as an ASCII file
 // (time, x, y, z per line), the format downstream plotting expects.
+// Single-source results keep the flat dir/NAME.sem layout; ensemble
+// results are keyed by (source, station) with one source_NNN/
+// subdirectory per batched wavefield.
 func WriteSeismograms(dir string, res *solver.Result) error {
+	if len(res.BySource) <= 1 {
+		return writeSeismogramDir(dir, res.Seismograms)
+	}
+	for s, m := range res.BySource {
+		sub := filepath.Join(dir, fmt.Sprintf("source_%03d", s))
+		if err := writeSeismogramDir(sub, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSeismogramDir writes one station-name-keyed seismogram map into
+// dir as ASCII .sem files.
+func writeSeismogramDir(dir string, seismos map[string]*solver.Seismogram) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for name, sg := range res.Seismograms {
+	for name, sg := range seismos {
 		f, err := os.Create(filepath.Join(dir, name+".sem"))
 		if err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"specglobe/internal/earthmodel"
+	"specglobe/internal/mesh"
 	"specglobe/internal/meshfem"
 	"specglobe/internal/perfmodel"
 	"specglobe/internal/solver"
@@ -46,6 +47,13 @@ type LTSRow struct {
 	// StepsFinestPerSec is wall-clock steps of the finest level per
 	// second.
 	StepsFinestPerSec float64
+	// ElemImbalance is max/mean element count across ranks.
+	ElemImbalance float64
+	// CostImbalance is max/mean of the rank cost sum(1/rate) — the
+	// per-finest-step work balance the LTS wheel actually sees
+	// (mesh.ComputeLoadStatsRated). Equals ElemImbalance for
+	// single-rate variants.
+	CostImbalance float64
 	// Speedup is StepsFinestPerSec over the doubled single-rate
 	// baseline of the same configuration (0 until the baseline row of
 	// the configuration exists).
@@ -116,11 +124,16 @@ func LTSAblation(configs [][2]int, doublings []float64, steps int) (*LTSResult, 
 				TheoreticalReduction: 1,
 				StepsFinestPerSec:    float64(steps) / res.Perf.WallTime.Seconds(),
 			}
+			maxRate := 1
 			if res.LTS != nil {
 				row.RateCounts = res.LTS.ElemsByRate
 				row.TheoreticalReduction = perfmodel.LTSRateWeightedReduction(res.LTS.ElemsByRate)
 				row.StepsFinestPerSec = res.LTS.StepsOfFinestPerSec
+				maxRate = res.LTS.MaxRate
 			}
+			ls := mesh.ComputeLoadStatsRated(g.Locals, res.Dt, 0.3, maxRate)
+			row.ElemImbalance = ls.Imbalance
+			row.CostImbalance = ls.CostImbalance
 			if v.doubled && !v.lts {
 				baseline = row.StepsFinestPerSec
 			}
@@ -155,23 +168,27 @@ func (r *LTSResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "LTS: clustered local time stepping on PREM (doubling radii %v, %d steps)\n",
 		r.Doublings, r.Steps)
-	fmt.Fprintf(&b, "  %6s %5s %-12s %8s %9s %-18s %7s %12s %8s\n",
-		"P", "res", "variant", "elems", "dt", "rates(rxN)", "theory", "finest-st/s", "speedup")
+	fmt.Fprintf(&b, "  %6s %5s %-12s %8s %9s %-18s %7s %12s %8s %7s %7s\n",
+		"P", "res", "variant", "elems", "dt", "rates(rxN)", "theory", "finest-st/s", "speedup", "imb", "cost-imb")
 	for _, row := range r.Rows {
 		speed := "-"
 		if row.Speedup > 0 {
 			speed = fmt.Sprintf("%.2fx", row.Speedup)
 		}
-		fmt.Fprintf(&b, "  %6d %5d %-12s %8d %8.3fs %-18s %6.2fx %12.3f %8s\n",
+		fmt.Fprintf(&b, "  %6d %5d %-12s %8d %8.3fs %-18s %6.2fx %12.3f %8s %7.3f %7.3f\n",
 			row.P, row.Res, row.Variant, row.Elements, row.Dt,
 			formatRates(row.RateCounts), row.TheoreticalReduction,
-			row.StepsFinestPerSec, speed)
+			row.StepsFinestPerSec, speed, row.ElemImbalance, row.CostImbalance)
 	}
 	b.WriteString("  theory = rate-weighted element-update reduction (sum N_r / sum N_r/r): the\n")
 	b.WriteString("  bound on the *element-kernel* speedup. Realized steps-of-finest-level/sec\n")
 	b.WriteString("  (vs the doubled single-rate baseline) can fall short of it — point updates\n")
 	b.WriteString("  and per-step fixed costs are not clustered — or exceed it where virtual\n")
-	b.WriteString("  halo time dominates, since dormant levels skip whole exchange rounds\n")
+	b.WriteString("  halo time dominates, since dormant levels skip whole exchange rounds.\n")
+	b.WriteString("  imb/cost-imb = max/mean element count vs max/mean sum(1/rate) per rank:\n")
+	b.WriteString("  the rate-weighted cost is the work per finest step under the wheel, so a\n")
+	b.WriteString("  cost-imb above imb means the coarse (cheap) clusters concentrate away from\n")
+	b.WriteString("  the busiest ranks and LTS worsens the effective balance\n")
 	return b.String()
 }
 

@@ -204,6 +204,18 @@ func StepsOfFinestPerSec(steps int, wall time.Duration) float64 {
 	return float64(steps) / wall.Seconds()
 }
 
+// SourceStepsPerSec is the throughput metric of ensemble (multi-source)
+// batching: time steps × batched sources divided by wall time. A
+// batched run advancing S wavefields per step makes S source-steps of
+// progress per step, so this is the number that makes an S-wide batch
+// comparable to S sequential single-source runs.
+func SourceStepsPerSec(steps, sources int, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(steps) * float64(sources) / wall.Seconds()
+}
+
 // TotalCommTime returns the full virtual network time, exposed plus
 // hidden — what the section 5 communication models describe, since the
 // overlap schedule hides traffic without removing it.
@@ -409,8 +421,25 @@ func DefaultFlopCounts() FlopCounts {
 type ByteCounts struct {
 	SolidElement int64 // force kernel, per solid element per step
 	FluidElement int64 // force kernel, per fluid element per step
+
+	// Static/Dynamic split the element totals by whether a stream
+	// depends on the wavefield. Static streams — connectivity, metric
+	// terms, material properties, GLL weights — are a property of the
+	// element alone, so an ensemble run batching S wavefields through
+	// one element sweep streams them once per element, not once per
+	// source; dynamic streams (displacement/potential gathers, scratch
+	// blocks, acceleration scatters) scale with S. The batched force
+	// kernels charge Static + S*Dynamic per element, which is what
+	// raises the measured arithmetic intensity of a batch above the
+	// S=1 row. Invariant: Element = ElementStatic + ElementDynamic.
+	SolidElementStatic  int64
+	SolidElementDynamic int64
+	FluidElementStatic  int64
+	FluidElementDynamic int64
+
 	// AttenuationMech is the extra solid-element traffic per SLS
-	// mechanism: six memory-variable arrays read-modify-written.
+	// mechanism: six memory-variable arrays read-modify-written. The
+	// memory variables are per-wavefield state, so it is all dynamic.
 	AttenuationMech int64
 
 	SolidPredictor int64 // per solid grid point per step
@@ -444,11 +473,22 @@ func DefaultByteCounts() ByteCounts {
 		//   gradT     9 s r + 9 t w                                 = 18
 		//   scatter   9 t r + 3 weight r + ibool r + 3 accel rmw    = 19
 		SolidElement: int64(ngll3 * f32 * (7 + 12 + 30 + 18 + 19)),
+		// Of the 86 solid streams, the element-static ones are: the
+		// ibool read in gather and again in scatter (2), the 12
+		// property reads of the pointwise stage, and the 3 GLL-weight
+		// reads of the scatter — 17 streams. The other 69 carry
+		// wavefield state and scale with the batch width.
+		SolidElementStatic:  int64(ngll3 * f32 * 17),
+		SolidElementDynamic: int64(ngll3 * f32 * (7 + 12 + 30 + 18 + 19 - 17)),
 		// Fluid element, same stages for one scalar field:
 		//   gather 3, grad 4 (1 r + 3 w), pointwise 17 (3 t r + 11
 		//   property r + 3 s w), gradT 6, scatter 9 (3 t r + 3
 		//   weight r + ibool r + chiDdot rmw).
 		FluidElement: int64(ngll3 * f32 * (3 + 4 + 17 + 6 + 9)),
+		// Fluid static streams: ibool in gather and scatter (2), 11
+		// property reads, 3 weight reads — 16 of the 39.
+		FluidElementStatic:  int64(ngll3 * f32 * 16),
+		FluidElementDynamic: int64(ngll3 * f32 * (3 + 4 + 17 + 6 + 9 - 16)),
 		// Per SLS mechanism: six r arrays read-modify-written.
 		AttenuationMech: int64(ngll3 * f32 * (6 * 2)),
 

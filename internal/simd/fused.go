@@ -154,12 +154,47 @@ func ApplyDGradBatch(m *Matrix, u, d1, d2, d3 []float32, n int) {
 // The weighted sum uses the same association as the other variants'
 // scatter expression (fac1*t1 + fac2*t2 + fac3*t3), so the result
 // agrees to the rounding of the memory-staged intermediates.
+// It is GradTWeightedFusedBatch with a panel of one.
 func GradTWeightedFused(m *Matrix, s1, s2, s3, f1, f2, f3, out []float32) {
+	GradTWeightedFusedBatch(m, s1, s2, s3, f1, f2, f3, out, 1)
+}
+
+// GradTWeightedFusedBatch applies the fused weighted-transpose
+// accumulation to a panel of n padded blocks laid out back-to-back
+// (block e of s1/s2/s3/out occupies [e*PadLen, e*PadLen+BlockLen)); the
+// per-point weight blocks f1/f2/f3 are shared by every block of the
+// panel — they depend only on the GLL weights, not the element or the
+// wavefield. The 25 matrix entries are hoisted into locals once for the
+// whole panel, and blocks are fully independent, so a block's result is
+// bit-identical at every panel width — this is how the ensemble solver
+// sweeps S wavefields' flux blocks through one element's static data.
+func GradTWeightedFusedBatch(m *Matrix, s1, s2, s3, f1, f2, f3, out []float32, n int) {
 	m00, m01, m02, m03, m04 := m[0][0], m[0][1], m[0][2], m[0][3], m[0][4]
 	m10, m11, m12, m13, m14 := m[1][0], m[1][1], m[1][2], m[1][3], m[1][4]
 	m20, m21, m22, m23, m24 := m[2][0], m[2][1], m[2][2], m[2][3], m[2][4]
 	m30, m31, m32, m33, m34 := m[3][0], m[3][1], m[3][2], m[3][3], m[3][4]
 	m40, m41, m42, m43, m44 := m[4][0], m[4][1], m[4][2], m[4][3], m[4][4]
+
+	for e := 0; e < n; e++ {
+		bb := e * PadLen
+		gradTWeightedBlock(m, s1[bb:], s2[bb:], s3[bb:], f1, f2, f3, out[bb:],
+			m00, m01, m02, m03, m04,
+			m10, m11, m12, m13, m14,
+			m20, m21, m22, m23, m24,
+			m30, m31, m32, m33, m34,
+			m40, m41, m42, m43, m44)
+	}
+}
+
+// gradTWeightedBlock is the per-block body of GradTWeightedFusedBatch
+// (the hoisted matrix entries arrive as arguments so the batch loop
+// keeps them register-resident across blocks).
+func gradTWeightedBlock(m *Matrix, s1, s2, s3, f1, f2, f3, out []float32,
+	m00, m01, m02, m03, m04,
+	m10, m11, m12, m13, m14,
+	m20, m21, m22, m23, m24,
+	m30, m31, m32, m33, m34,
+	m40, m41, m42, m43, m44 float32) {
 
 	// xi + eta terms in one pass: both are cutplane-local, so with the
 	// s1 and s2 cutplanes loaded into locals the output block is

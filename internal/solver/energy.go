@@ -20,10 +20,14 @@ func (rs *rankState) localEnergy() (kinetic, potential float64) {
 	var t1y, t2y, t3y [simd.PadLen]float32
 	var t1z, t2z, t3z [simd.PadLen]float32
 
-	for _, f := range rs.solid {
-		if f == nil {
+	// Energy diagnostics track wavefield 0 only: the energy balance is a
+	// per-field stability/physics check, and field 0 is the reference
+	// single-source field of a batched run.
+	for _, fs := range rs.solid {
+		if fs == nil {
 			continue
 		}
+		f := fs[0]
 		reg := f.reg
 		for e := 0; e < reg.NSpec; e++ {
 			base := e * mesh.NGLL3
@@ -74,7 +78,8 @@ func (rs *rankState) localEnergy() (kinetic, potential float64) {
 		}
 	}
 
-	if fl := rs.fluid; fl != nil {
+	if rs.fluid != nil {
+		fl := rs.fluid[0]
 		reg := fl.reg
 		var chiDot [simd.PadLen]float32
 		var d1, d2, d3 [simd.PadLen]float32

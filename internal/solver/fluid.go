@@ -25,8 +25,7 @@ import (
 // computeSolidForces): colors run serially, chunks within a color run
 // on the worker pool and write disjoint chiDdot entries.
 func (rs *rankState) computeFluidForces(classes [][]int32) {
-	fl := rs.fluid
-	if fl == nil {
+	if rs.fluid == nil {
 		return
 	}
 	numE := 0
@@ -36,19 +35,22 @@ func (rs *rankState) computeFluidForces(classes [][]int32) {
 			rs.fluidForcesChunk(ks, elems)
 		})
 	}
-	rs.prof.AddFlops(perf.PhaseForceFluid, rs.fc.FluidElement*int64(numE))
-	rs.prof.AddBytes(perf.PhaseForceFluid, rs.bc.FluidElement*int64(numE))
+	ns := int64(rs.ns)
+	rs.prof.AddFlops(perf.PhaseForceFluid, rs.fc.FluidElement*int64(numE)*ns)
+	rs.prof.AddBytes(perf.PhaseForceFluid,
+		(rs.bc.FluidElementStatic+ns*rs.bc.FluidElementDynamic)*int64(numE))
 }
 
 // fluidForcesChunk processes one conflict-free chunk of fluid elements,
-// reusing the x-component scratch blocks for the scalar potential.
+// reusing the x-component scratch blocks for the scalar potential. The
+// wavefield loop nests inside the element loop (see solidForcesChunk).
 func (rs *rankState) fluidForcesChunk(ks *kernelScratch, elems []int32) {
 	if ks.k.variant == KernelFused {
 		rs.fluidForcesChunkFused(ks, elems)
 		return
 	}
-	fl := rs.fluid
-	reg := fl.reg
+	fls := rs.fluid
+	reg := fls[0].reg
 	k := ks.k
 	chi, t1, t2, t3 := &ks.ux, &ks.t1x, &ks.t2x, &ks.t3x
 	s1, s2, s3 := &ks.s1x, &ks.s2x, &ks.s3x
@@ -57,46 +59,57 @@ func (rs *rankState) fluidForcesChunk(ks *kernelScratch, elems []int32) {
 		e := int(e32)
 		base := e * mesh.NGLL3
 		ib := reg.Ibool[base : base+mesh.NGLL3]
-		for p, g := range ib {
-			chi[p] = fl.chi[g]
-		}
-		k.grad(chi[:], t1[:], t2[:], t3[:])
-		for p := 0; p < mesh.NGLL3; p++ {
-			ip := base + p
-			xix, xiy, xiz := reg.Xix[ip], reg.Xiy[ip], reg.Xiz[ip]
-			etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
-			gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
+		for _, fl := range fls {
+			for p, g := range ib {
+				chi[p] = fl.chi[g]
+			}
+			k.grad(chi[:], t1[:], t2[:], t3[:])
+			for p := 0; p < mesh.NGLL3; p++ {
+				ip := base + p
+				xix, xiy, xiz := reg.Xix[ip], reg.Xiy[ip], reg.Xiz[ip]
+				etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
+				gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
 
-			gx := xix*t1[p] + etx*t2[p] + gmx*t3[p]
-			gy := xiy*t1[p] + ety*t2[p] + gmy*t3[p]
-			gz := xiz*t1[p] + etz*t2[p] + gmz*t3[p]
+				gx := xix*t1[p] + etx*t2[p] + gmx*t3[p]
+				gy := xiy*t1[p] + ety*t2[p] + gmy*t3[p]
+				gz := xiz*t1[p] + etz*t2[p] + gmz*t3[p]
 
-			fac := reg.Jac[ip] / reg.Rho[ip]
-			s1[p] = fac * (gx*xix + gy*xiy + gz*xiz)
-			s2[p] = fac * (gx*etx + gy*ety + gz*etz)
-			s3[p] = fac * (gx*gmx + gy*gmy + gz*gmz)
-		}
-		k.gradT1(s1[:], t1[:])
-		k.gradT2(s2[:], t2[:])
-		k.gradT3(s3[:], t3[:])
-		for p, g := range ib {
-			fl.chiDdot[g] -= k.fac1[p]*t1[p] + k.fac2[p]*t2[p] + k.fac3[p]*t3[p]
+				fac := reg.Jac[ip] / reg.Rho[ip]
+				s1[p] = fac * (gx*xix + gy*xiy + gz*xiz)
+				s2[p] = fac * (gx*etx + gy*ety + gz*etz)
+				s3[p] = fac * (gx*gmx + gy*gmy + gz*gmz)
+			}
+			k.gradT1(s1[:], t1[:])
+			k.gradT2(s2[:], t2[:])
+			k.gradT3(s3[:], t3[:])
+			for p, g := range ib {
+				fl.chiDdot[g] -= k.fac1[p]*t1[p] + k.fac2[p]*t2[p] + k.fac3[p]*t3[p]
+			}
 		}
 	}
 }
 
 // fluidForcesChunkFused is the KernelFused sweep for the scalar
-// potential: consecutive elements are gathered into a panel of up to
-// fusedPanel padded blocks and run through ONE batched gradient (the
+// potential. Single-field runs gather consecutive elements into a panel
+// of up to fusedPanel padded blocks and run ONE batched gradient (the
 // 5x5 matrix loads once per panel instead of once per apply), then each
 // element's pointwise stage and fused weighted-transpose accumulation
-// proceed as in the solid kernel. Panel membership never mixes data
-// across blocks, so chunk and panel boundaries do not affect any
-// element's result and worker-count bit-identity is preserved.
+// proceed as in the solid kernel. Batched runs instead panel the ns
+// wavefields of each element (one gradient per element over all
+// fields), so the element-static metric/material loads are paid once
+// per element. Panel membership never mixes data across blocks, so
+// chunk and panel boundaries do not affect any element's result and
+// worker-count bit-identity is preserved either way.
 func (rs *rankState) fluidForcesChunkFused(ks *kernelScratch, elems []int32) {
-	fl := rs.fluid
-	reg := fl.reg
+	fls := rs.fluid
+	reg := fls[0].reg
 	k := ks.k
+
+	if len(fls) > 1 {
+		rs.fluidForcesChunkFusedBatch(ks, elems)
+		return
+	}
+	fl := fls[0]
 	acc := &ks.t1x
 
 	for off := 0; off < len(elems); off += fusedPanel {
@@ -115,7 +128,7 @@ func (rs *rankState) fluidForcesChunkFused(ks *kernelScratch, elems []int32) {
 			}
 		}
 
-		simd.ApplyDGradBatch(k.hprime, ks.pu[:], ks.pt1[:], ks.pt2[:], ks.pt3[:], n)
+		simd.ApplyDGradBatch(k.hprime, ks.pu, ks.pt1, ks.pt2, ks.pt3, n)
 
 		for bi, e32 := range batch {
 			base := int(e32) * mesh.NGLL3
@@ -150,23 +163,85 @@ func (rs *rankState) fluidForcesChunkFused(ks *kernelScratch, elems []int32) {
 	}
 }
 
+// fluidForcesChunkFusedBatch is the ensemble variant: per element, all
+// ns potentials are gathered into one panel, run through one batched
+// gradient, and accumulated with one batched weighted transpose.
+func (rs *rankState) fluidForcesChunkFusedBatch(ks *kernelScratch, elems []int32) {
+	fls := rs.fluid
+	reg := fls[0].reg
+	k := ks.k
+	ns := len(fls)
+
+	for _, e32 := range elems {
+		base := int(e32) * mesh.NGLL3
+		ib := reg.Ibool[base : base+mesh.NGLL3]
+
+		for s, fl := range fls {
+			chi := ks.pu[s*simd.PadLen:]
+			for p, g := range ib {
+				chi[p] = fl.chi[g]
+			}
+		}
+
+		simd.ApplyDGradBatch(k.hprime, ks.pu, ks.pt1, ks.pt2, ks.pt3, ns)
+
+		for s := range fls {
+			bo := s * simd.PadLen
+			t1 := ks.pt1[bo : bo+simd.PadLen]
+			t2 := ks.pt2[bo : bo+simd.PadLen]
+			t3 := ks.pt3[bo : bo+simd.PadLen]
+			s1 := ks.ps1x[bo : bo+simd.PadLen]
+			s2 := ks.ps2x[bo : bo+simd.PadLen]
+			s3 := ks.ps3x[bo : bo+simd.PadLen]
+
+			for p := 0; p < mesh.NGLL3; p++ {
+				ip := base + p
+				xix, xiy, xiz := reg.Xix[ip], reg.Xiy[ip], reg.Xiz[ip]
+				etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
+				gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
+
+				gx := xix*t1[p] + etx*t2[p] + gmx*t3[p]
+				gy := xiy*t1[p] + ety*t2[p] + gmy*t3[p]
+				gz := xiz*t1[p] + etz*t2[p] + gmz*t3[p]
+
+				fac := reg.Jac[ip] / reg.Rho[ip]
+				s1[p] = fac * (gx*xix + gy*xiy + gz*xiz)
+				s2[p] = fac * (gx*etx + gy*ety + gz*etz)
+				s3[p] = fac * (gx*gmx + gy*gmy + gz*gmz)
+			}
+		}
+
+		simd.GradTWeightedFusedBatch(k.hpwT, ks.ps1x, ks.ps2x, ks.ps3x, k.fac1[:], k.fac2[:], k.fac3[:], ks.pox, ns)
+
+		for s, fl := range fls {
+			acc := ks.pox[s*simd.PadLen:]
+			for p, g := range ib {
+				fl.chiDdot[g] -= acc[p]
+			}
+		}
+	}
+}
+
 // addSolidDisplacementToFluid applies the fluid-side coupling term:
 // chiDdot accumulates + Weight * (u_solid . n_f) at the boundary points,
 // using the freshly predicted solid displacement.
 func (rs *rankState) addSolidDisplacementToFluid(faces []mesh.CoupleFace) {
-	fl := rs.fluid
-	if fl == nil {
+	if rs.fluid == nil {
 		return
 	}
 	for fi := range faces {
 		cf := &faces[fi]
-		f := rs.solid[cf.SolidKind]
-		for q := 0; q < mesh.NGLL2; q++ {
-			sp := cf.SolidPt[q]
-			un := f.dx[sp]*cf.Nx[q] + f.dy[sp]*cf.Ny[q] + f.dz[sp]*cf.Nz[q]
-			fl.chiDdot[cf.FluidPt[q]] += cf.Weight[q] * un
+		fs := rs.solid[cf.SolidKind]
+		for s, fl := range rs.fluid {
+			f := fs[s]
+			for q := 0; q < mesh.NGLL2; q++ {
+				sp := cf.SolidPt[q]
+				un := f.dx[sp]*cf.Nx[q] + f.dy[sp]*cf.Ny[q] + f.dz[sp]*cf.Nz[q]
+				fl.chiDdot[cf.FluidPt[q]] += cf.Weight[q] * un
+			}
 		}
 	}
-	rs.prof.AddFlops(perf.PhaseForceFluid, rs.fc.CouplePoint*int64(len(faces)*mesh.NGLL2))
-	rs.prof.AddBytes(perf.PhaseForceFluid, rs.bc.CouplePoint*int64(len(faces)*mesh.NGLL2))
+	n := int64(len(faces)*mesh.NGLL2) * int64(rs.ns)
+	rs.prof.AddFlops(perf.PhaseForceFluid, rs.fc.CouplePoint*n)
+	rs.prof.AddBytes(perf.PhaseForceFluid, rs.bc.CouplePoint*n)
 }

@@ -54,12 +54,20 @@ type ltsPoints struct {
 	// upTo[li] lists the points with rate <= 2^li, ascending; a nil
 	// entry means "all points" (use the full-range loop).
 	upTo [][]int32
-	// holdX/Y/Z[li] hold the last fired acceleration of byRate[li]
-	// points (parallel to the list), captured by the corrector and read
-	// by the next predictor. li = 0 needs no hold (rate-1 accelerations
-	// are never polluted between corrector and predictor); the fluid
-	// uses holdX for chiDdot.
-	holdX, holdY, holdZ [][]float32
+}
+
+// allocHolds allocates per-level hold arrays parallel to a region's
+// exact-rate point lists: hold[li][q] keeps the last fired acceleration
+// of byRate[li][q], captured by the corrector and read by the next
+// predictor. li = 0 needs no hold (rate-1 accelerations are never
+// polluted between corrector and predictor). One set per wavefield —
+// held state is dynamic, not mesh-static.
+func allocHolds(byRate [][]int32) [][]float32 {
+	out := make([][]float32, len(byRate))
+	for li := 1; li < len(byRate); li++ {
+		out[li] = make([]float32, len(byRate[li]))
+	}
+	return out
 }
 
 // ltsState is the per-rank cluster-wheel state.
@@ -77,9 +85,6 @@ type ltsState struct {
 	// level (everything fires) means unmasked, an empty non-nil list
 	// means skip the edge.
 	edgeAct [3][][][]int32
-	// accHold is the traction shadow of the fluid chiDdot at coupling
-	// face points (nil when the fluid is absent or single-rate).
-	accHold []float32
 	// faceUpTo/restUpTo[li]: fluid coupling-face points and the
 	// remaining fluid points with rate <= 2^li (restUpTo only built
 	// when the deferred fluid corrector needs the split).
@@ -182,20 +187,32 @@ func (rs *rankState) initLTS() {
 		rs.buildLTSSweeps(kind)
 		if !lts.pts[kind].single {
 			rs.buildEdgeMasks(kind)
+			if !rs.local.Regions[kind].IsFluid() {
+				for _, f := range rs.solid[kind] {
+					f.hx = allocHolds(lts.pts[kind].byRate)
+					f.hy = allocHolds(lts.pts[kind].byRate)
+					f.hz = allocHolds(lts.pts[kind].byRate)
+				}
+			}
 		}
 	}
 
 	// Fluid traction shadow: the solid reads the fluid potential's
 	// second derivative at CMB/ICB face points every step, so a
-	// multi-rate fluid keeps the last fired values visible in accHold.
-	if fl := rs.fluid; fl != nil && !lts.pts[earthmodel.RegionOuterCore].single {
+	// multi-rate fluid keeps each wavefield's last fired values visible
+	// in its accHold.
+	if fls := rs.fluid; fls != nil && !lts.pts[earthmodel.RegionOuterCore].single {
 		pr := clus.PointRate[earthmodel.RegionOuterCore]
-		lts.accHold = make([]float32, fl.reg.NGlob)
+		byRate := lts.pts[earthmodel.RegionOuterCore].byRate
+		for s, fl := range fls {
+			fl.hChi = allocHolds(byRate)
+			fl.accHold = make([]float32, fl.reg.NGlob)
+			rs.chiSrc[s] = fl.accHold
+		}
 		lts.faceUpTo = filterByRate(rs.fluidFace, pr, lts.levels)
 		if rs.fluidDeferred {
 			lts.restUpTo = filterByRate(rs.fluidRest, pr, lts.levels)
 		}
-		rs.chiSrc = lts.accHold
 	}
 }
 
@@ -204,9 +221,6 @@ func buildLTSPoints(pr []int32, levels int) ltsPoints {
 	p := ltsPoints{
 		byRate: make([][]int32, levels),
 		upTo:   make([][]int32, levels),
-		holdX:  make([][]float32, levels),
-		holdY:  make([][]float32, levels),
-		holdZ:  make([][]float32, levels),
 	}
 	single := true
 	for _, r := range pr {
@@ -235,11 +249,6 @@ func buildLTSPoints(pr []int32, levels int) ltsPoints {
 			upto = nil // full range
 		}
 		p.upTo[li] = upto
-		if li > 0 {
-			p.holdX[li] = make([]float32, len(exact))
-			p.holdY[li] = make([]float32, len(exact))
-			p.holdZ[li] = make([]float32, len(exact))
-		}
 	}
 	return p
 }
@@ -336,24 +345,29 @@ func filterByRate(pts []int32, pr []int32, levels int) [][]int32 {
 	return out
 }
 
-// refreshTractionShadow copies the freshly mass-divided fluid chiDdot
-// of the firing face points into the traction shadow.
+// refreshTractionShadow copies each wavefield's freshly mass-divided
+// fluid chiDdot of the firing face points into its traction shadow.
 func (rs *rankState) refreshTractionShadow() {
 	lts := rs.lts
-	if lts == nil || lts.accHold == nil {
+	if lts == nil || rs.fluid == nil || rs.fluid[0].accHold == nil {
 		return
 	}
-	src := rs.fluid.chiDdot
-	for _, p := range lts.faceUpTo[lts.level] {
-		lts.accHold[p] = src[p]
+	face := lts.faceUpTo[lts.level]
+	for _, fl := range rs.fluid {
+		src := fl.chiDdot
+		for _, p := range face {
+			fl.accHold[p] = src[p]
+		}
 	}
 }
 
-// solidPredictorLTS advances the firing solid points, each with its own
-// rate-scaled time step. Coarse lists read the held acceleration of the
-// previous firing (the live slot has been polluted by firing neighbors
-// during the dormant window).
-func (rs *rankState) solidPredictorLTS(f *solidField, pts *ltsPoints) {
+// solidPredictorLTS advances the firing solid points of every batched
+// wavefield, each point with its own rate-scaled time step. Coarse
+// lists read the held acceleration of the previous firing (the live
+// slot has been polluted by firing neighbors during the dormant
+// window). The ensemble loop runs inside the dispatched chunk, so one
+// pool pass covers all wavefields.
+func (rs *rankState) solidPredictorLTS(fs []*solidField, pts *ltsPoints) {
 	n := 0
 	for li := 0; li <= rs.lts.level; li++ {
 		list := pts.byRate[li]
@@ -365,43 +379,49 @@ func (rs *rankState) solidPredictorLTS(f *solidField, pts *ltsPoints) {
 		halfSq := dtr * dtr / 2
 		if li == 0 {
 			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
-				for q := lo; q < hi; q++ {
-					i := list[q]
-					f.dx[i] += dtr*f.vx[i] + halfSq*f.ax[i]
-					f.dy[i] += dtr*f.vy[i] + halfSq*f.ay[i]
-					f.dz[i] += dtr*f.vz[i] + halfSq*f.az[i]
-					f.vx[i] += half * f.ax[i]
-					f.vy[i] += half * f.ay[i]
-					f.vz[i] += half * f.az[i]
-					f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
+				for _, f := range fs {
+					for q := lo; q < hi; q++ {
+						i := list[q]
+						f.dx[i] += dtr*f.vx[i] + halfSq*f.ax[i]
+						f.dy[i] += dtr*f.vy[i] + halfSq*f.ay[i]
+						f.dz[i] += dtr*f.vz[i] + halfSq*f.az[i]
+						f.vx[i] += half * f.ax[i]
+						f.vy[i] += half * f.ay[i]
+						f.vz[i] += half * f.az[i]
+						f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
+					}
 				}
 			})
 		} else {
-			hx, hy, hz := pts.holdX[li], pts.holdY[li], pts.holdZ[li]
+			li := li
 			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
-				for q := lo; q < hi; q++ {
-					i := list[q]
-					ax, ay, az := hx[q], hy[q], hz[q]
-					f.dx[i] += dtr*f.vx[i] + halfSq*ax
-					f.dy[i] += dtr*f.vy[i] + halfSq*ay
-					f.dz[i] += dtr*f.vz[i] + halfSq*az
-					f.vx[i] += half * ax
-					f.vy[i] += half * ay
-					f.vz[i] += half * az
-					f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
+				for _, f := range fs {
+					hx, hy, hz := f.hx[li], f.hy[li], f.hz[li]
+					for q := lo; q < hi; q++ {
+						i := list[q]
+						ax, ay, az := hx[q], hy[q], hz[q]
+						f.dx[i] += dtr*f.vx[i] + halfSq*ax
+						f.dy[i] += dtr*f.vy[i] + halfSq*ay
+						f.dz[i] += dtr*f.vz[i] + halfSq*az
+						f.vx[i] += half * ax
+						f.vy[i] += half * ay
+						f.vz[i] += half * az
+						f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
+					}
 				}
 			})
 		}
 		n += len(list)
 	}
+	n *= len(fs)
 	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.SolidPredictor*int64(n))
 	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidPredictor*int64(n))
 }
 
-// fluidPredictorLTS is solidPredictorLTS for the potential field; the
-// chiDdot hold lives in holdX.
+// fluidPredictorLTS is solidPredictorLTS for the potential fields; the
+// chiDdot hold lives in hChi.
 func (rs *rankState) fluidPredictorLTS(pts *ltsPoints) {
-	fl := rs.fluid
+	fls := rs.fluid
 	n := 0
 	for li := 0; li <= rs.lts.level; li++ {
 		list := pts.byRate[li]
@@ -413,35 +433,42 @@ func (rs *rankState) fluidPredictorLTS(pts *ltsPoints) {
 		halfSq := dtr * dtr / 2
 		if li == 0 {
 			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
-				for q := lo; q < hi; q++ {
-					i := list[q]
-					fl.chi[i] += dtr*fl.chiDot[i] + halfSq*fl.chiDdot[i]
-					fl.chiDot[i] += half * fl.chiDdot[i]
-					fl.chiDdot[i] = 0
+				for _, fl := range fls {
+					for q := lo; q < hi; q++ {
+						i := list[q]
+						fl.chi[i] += dtr*fl.chiDot[i] + halfSq*fl.chiDdot[i]
+						fl.chiDot[i] += half * fl.chiDdot[i]
+						fl.chiDdot[i] = 0
+					}
 				}
 			})
 		} else {
-			h := pts.holdX[li]
+			li := li
 			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
-				for q := lo; q < hi; q++ {
-					i := list[q]
-					a := h[q]
-					fl.chi[i] += dtr*fl.chiDot[i] + halfSq*a
-					fl.chiDot[i] += half * a
-					fl.chiDdot[i] = 0
+				for _, fl := range fls {
+					h := fl.hChi[li]
+					for q := lo; q < hi; q++ {
+						i := list[q]
+						a := h[q]
+						fl.chi[i] += dtr*fl.chiDot[i] + halfSq*a
+						fl.chiDot[i] += half * a
+						fl.chiDdot[i] = 0
+					}
 				}
 			})
 		}
 		n += len(list)
 	}
+	n *= len(fls)
 	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidPredictor*int64(n))
 	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidPredictor*int64(n))
 }
 
 // solidCorrectorLTS finishes the firing solid points' velocity update
-// and captures the final (mass-divided) acceleration of coarse points
-// into the hold arrays for their next predictor.
-func (rs *rankState) solidCorrectorLTS(f *solidField, pts *ltsPoints) {
+// for every batched wavefield and captures the final (mass-divided)
+// acceleration of coarse points into the field's hold arrays for its
+// next predictor.
+func (rs *rankState) solidCorrectorLTS(fs []*solidField, pts *ltsPoints) {
 	n := 0
 	for li := 0; li <= rs.lts.level; li++ {
 		list := pts.byRate[li]
@@ -451,34 +478,40 @@ func (rs *rankState) solidCorrectorLTS(f *solidField, pts *ltsPoints) {
 		half := float32(rs.dt) * float32(int32(1)<<uint(li)) / 2
 		if li == 0 {
 			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
-				for q := lo; q < hi; q++ {
-					i := list[q]
-					f.vx[i] += half * f.ax[i]
-					f.vy[i] += half * f.ay[i]
-					f.vz[i] += half * f.az[i]
+				for _, f := range fs {
+					for q := lo; q < hi; q++ {
+						i := list[q]
+						f.vx[i] += half * f.ax[i]
+						f.vy[i] += half * f.ay[i]
+						f.vz[i] += half * f.az[i]
+					}
 				}
 			})
 		} else {
-			hx, hy, hz := pts.holdX[li], pts.holdY[li], pts.holdZ[li]
+			li := li
 			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
-				for q := lo; q < hi; q++ {
-					i := list[q]
-					f.vx[i] += half * f.ax[i]
-					f.vy[i] += half * f.ay[i]
-					f.vz[i] += half * f.az[i]
-					hx[q], hy[q], hz[q] = f.ax[i], f.ay[i], f.az[i]
+				for _, f := range fs {
+					hx, hy, hz := f.hx[li], f.hy[li], f.hz[li]
+					for q := lo; q < hi; q++ {
+						i := list[q]
+						f.vx[i] += half * f.ax[i]
+						f.vy[i] += half * f.ay[i]
+						f.vz[i] += half * f.az[i]
+						hx[q], hy[q], hz[q] = f.ax[i], f.ay[i], f.az[i]
+					}
 				}
 			})
 		}
 		n += len(list)
 	}
+	n *= len(fs)
 	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.SolidCorrector*int64(n))
 	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidCorrector*int64(n))
 }
 
-// fluidCorrectorLTS is solidCorrectorLTS for the potential field.
+// fluidCorrectorLTS is solidCorrectorLTS for the potential fields.
 func (rs *rankState) fluidCorrectorLTS(pts *ltsPoints) {
-	fl := rs.fluid
+	fls := rs.fluid
 	n := 0
 	for li := 0; li <= rs.lts.level; li++ {
 		list := pts.byRate[li]
@@ -488,23 +521,29 @@ func (rs *rankState) fluidCorrectorLTS(pts *ltsPoints) {
 		half := float32(rs.dt) * float32(int32(1)<<uint(li)) / 2
 		if li == 0 {
 			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
-				for q := lo; q < hi; q++ {
-					i := list[q]
-					fl.chiDot[i] += half * fl.chiDdot[i]
+				for _, fl := range fls {
+					for q := lo; q < hi; q++ {
+						i := list[q]
+						fl.chiDot[i] += half * fl.chiDdot[i]
+					}
 				}
 			})
 		} else {
-			h := pts.holdX[li]
+			li := li
 			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
-				for q := lo; q < hi; q++ {
-					i := list[q]
-					fl.chiDot[i] += half * fl.chiDdot[i]
-					h[q] = fl.chiDdot[i]
+				for _, fl := range fls {
+					h := fl.hChi[li]
+					for q := lo; q < hi; q++ {
+						i := list[q]
+						fl.chiDot[i] += half * fl.chiDdot[i]
+						h[q] = fl.chiDdot[i]
+					}
 				}
 			})
 		}
 		n += len(list)
 	}
+	n *= len(fls)
 	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidCorrector*int64(n))
 	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidCorrector*int64(n))
 }

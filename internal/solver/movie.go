@@ -77,7 +77,11 @@ func (rs *rankState) gatherMoviePositions() *Movie {
 // only rank 0 appends the frame.
 func (rs *rankState) gatherMovieFrame(m *Movie, step int) {
 	sl := &rs.local.Surface
-	cm := rs.solid[earthmodel.RegionCrustMantle]
+	// Movie frames render wavefield 0 (the reference field of a batch).
+	var cm *solidField
+	if fs := rs.solid[earthmodel.RegionCrustMantle]; fs != nil {
+		cm = fs[0]
+	}
 	buf := make([]float64, 0, len(sl.Pts))
 	if cm != nil {
 		for _, pt := range sl.Pts {

@@ -32,18 +32,50 @@ type kernelScratch struct {
 	s1y, s2y, s3y [simd.PadLen]float32
 	s1z, s2z, s3z [simd.PadLen]float32
 
-	// Panel scratch for the fused kernel: up to 3 padded blocks
-	// back-to-back so simd.ApplyDGradBatch can keep the 5x5 matrix
-	// loaded across a whole panel (the 3 displacement components of one
-	// solid element, or 3 consecutive fluid elements).
-	pu, pt1, pt2, pt3 [fusedPanel * simd.PadLen]float32
+	// Panel scratch for the fused kernel: padded blocks back-to-back so
+	// simd.ApplyDGradBatch can keep the 5x5 matrix loaded across a
+	// whole panel. Sized max(fusedPanel, 3*ns) blocks: the 3
+	// displacement components of every batched wavefield of one solid
+	// element (or, at ns=1, 3 consecutive fluid elements).
+	pu, pt1, pt2, pt3 []float32
+	// Per-wavefield flux and accumulator panels (ns padded blocks each)
+	// for the batched weighted transpose of the ensemble solid kernel:
+	// ps<dir><comp> collects every wavefield's flux block of one
+	// direction/component, po<comp> the fused accumulation per field.
+	ps1x, ps2x, ps3x []float32
+	ps1y, ps2y, ps3y []float32
+	ps1z, ps2z, ps3z []float32
+	pox, poy, poz    []float32
 }
 
 // fusedPanel is the panel width of the fused kernel's batched gradient.
 const fusedPanel = 3
 
-func newKernelScratch(variant Kernel) *kernelScratch {
-	return &kernelScratch{k: newKernels(variant)}
+func newKernelScratch(variant Kernel, ns int) *kernelScratch {
+	ks := &kernelScratch{k: newKernels(variant)}
+	ks.allocPanels(ns)
+	return ks
+}
+
+// allocPanels sizes the fused-kernel panel scratch for an ensemble of
+// ns wavefields.
+func (ks *kernelScratch) allocPanels(ns int) {
+	if ns < 1 {
+		ns = 1
+	}
+	nb := fusedPanel
+	if 3*ns > nb {
+		nb = 3 * ns
+	}
+	ks.pu = make([]float32, nb*simd.PadLen)
+	ks.pt1 = make([]float32, nb*simd.PadLen)
+	ks.pt2 = make([]float32, nb*simd.PadLen)
+	ks.pt3 = make([]float32, nb*simd.PadLen)
+	fp := func() []float32 { return make([]float32, ns*simd.PadLen) }
+	ks.ps1x, ks.ps2x, ks.ps3x = fp(), fp(), fp()
+	ks.ps1y, ks.ps2y, ks.ps3y = fp(), fp(), fp()
+	ks.ps1z, ks.ps2z, ks.ps3z = fp(), fp(), fp()
+	ks.pox, ks.poy, ks.poz = fp(), fp(), fp()
 }
 
 // pool is the process-wide worker pool of one solver run. All rank
@@ -78,7 +110,7 @@ type poolTask struct {
 // poison/recover path instead of killing the process from a worker.
 type poolPanic struct{ val any }
 
-func newPool(workers int, variant Kernel) *pool {
+func newPool(workers int, variant Kernel, ns int) *pool {
 	if workers < 1 {
 		workers = 1
 	}
@@ -89,7 +121,7 @@ func newPool(workers int, variant Kernel) *pool {
 		scratch: make([]*kernelScratch, workers),
 	}
 	for w := 0; w < workers; w++ {
-		p.scratch[w] = newKernelScratch(variant)
+		p.scratch[w] = newKernelScratch(variant, ns)
 		p.wg.Add(1)
 		go p.worker(w)
 	}

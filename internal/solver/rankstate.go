@@ -12,24 +12,40 @@ import (
 	"specglobe/internal/perf"
 )
 
-// solidField is the dynamic state of one solid region on one rank.
+// solidField is the dynamic state of one wavefield of one solid region
+// on one rank. Batched runs hold one solidField per ensemble source;
+// the mesh-static members (reg, massInv, gravity tables, attenuation
+// coefficients) are shared across the batch by pointer, only the
+// dynamic arrays are per-field.
 type solidField struct {
 	reg        *mesh.Region
 	dx, dy, dz []float32 // displacement
 	vx, vy, vz []float32 // velocity
 	ax, ay, az []float32 // acceleration
-	massInv    []float32 // assembled inverse mass
+	massInv    []float32 // assembled inverse mass (shared across fields)
 	att        *attState // nil when attenuation is off
-	// gravity tables per global point (nil when gravity is off)
+	// gravity tables per global point (nil when gravity is off; shared
+	// across fields)
 	gOverR, dgdr        []float32
 	rhatX, rhatY, rhatZ []float32
+	// LTS held accelerations: hx[li][q] holds the acceleration of
+	// hold-level li, parallel to that level's exact-rate point list
+	// (allocated by initLTS for li > 0 only).
+	hx, hy, hz [][]float32
 }
 
-// fluidField is the dynamic state of the outer core on one rank.
+// fluidField is the dynamic state of one wavefield of the outer core on
+// one rank.
 type fluidField struct {
 	reg                  *mesh.Region
 	chi, chiDot, chiDdot []float32
-	massInv              []float32
+	massInv              []float32 // shared across fields
+	// LTS held potential accelerations per hold level (see solidField).
+	hChi [][]float32
+	// accHold is the traction shadow of chiDdot when the fluid is
+	// multi-rate under LTS: the solid traction reads the value frozen
+	// after the fluid's own mass division (nil otherwise).
+	accHold []float32
 }
 
 // attState holds the standard-linear-solid memory variables of a solid
@@ -41,6 +57,20 @@ type attState struct {
 	beta  [][]float32 // [mech][elem] (includes 1/Qmu)
 	muFac []float32   // per element unrelaxed modulus factor
 	r     [][6][]float32
+}
+
+// clone returns an attState sharing the per-element coefficient tables
+// (alpha, beta, muFac are mesh-static) with fresh zeroed memory
+// variables — one clone per additional batched wavefield.
+func (a *attState) clone() *attState {
+	c := &attState{nsls: a.nsls, alpha: a.alpha, beta: a.beta, muFac: a.muFac}
+	c.r = make([][6][]float32, a.nsls)
+	for k := 0; k < a.nsls; k++ {
+		for comp := 0; comp < 6; comp++ {
+			c.r[k][comp] = make([]float32, len(a.r[k][comp]))
+		}
+	}
+	return c
 }
 
 // sourceLocal is a source with its precomputed nodal force array.
@@ -56,7 +86,7 @@ type recvLocal struct {
 	kind earthmodel.Region
 	elem int
 	w    [mesh.NGLL3]float64 // interpolation weights (one-hot if nearest)
-	out  *Seismogram
+	out  []*Seismogram       // one per batched wavefield, indexed by field
 }
 
 // sweepClasses holds the precomputed color classes of each element
@@ -115,13 +145,19 @@ type rankState struct {
 	// points, fluidRest the complement.
 	fluidDeferred        bool
 	fluidFace, fluidRest []int32
-	// chiSrc is the array the solid traction reads the fluid potential
-	// acceleration from: the LTS shadow when the fluid is multi-rate,
-	// fluid.chiDdot otherwise.
-	chiSrc []float32
+	// chiSrc[s] is the array field s's solid traction reads the fluid
+	// potential acceleration from: the field's LTS shadow when the
+	// fluid is multi-rate, its chiDdot otherwise.
+	chiSrc [][]float32
 
-	solid [3]*solidField // indexed by region kind; nil for the fluid slot
-	fluid *fluidField    // nil if the mesh has no outer core
+	// ns is the ensemble width: the number of independent wavefields
+	// batched through the shared mesh (1 for a plain run).
+	ns    int
+	solid [3][]*solidField // [kind][field]; nil slice for the fluid slot
+	fluid []*fluidField    // [field]; nil if the mesh has no outer core
+	// fluidChiDdot caches the per-field chiDdot arrays in field order
+	// for the aggregated fluid halo exchange.
+	fluidChiDdot [][]float32
 
 	sources []sourceLocal
 	recvs   []recvLocal
@@ -135,8 +171,11 @@ type rankState struct {
 }
 
 func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
-	fit *earthmodel.SLSFit, grav *earthmodel.GravityProfile, p *pool) *rankState {
+	fit *earthmodel.SLSFit, grav *earthmodel.GravityProfile, p *pool, ns int) *rankState {
 
+	if ns < 1 {
+		ns = 1
+	}
 	rank := c.Rank()
 	rs := &rankState{
 		rank:  rank,
@@ -150,8 +189,10 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 		fc:    perf.DefaultFlopCounts(),
 		bc:    perf.DefaultByteCounts(),
 		pool:  p,
+		ns:    ns,
 	}
 	rs.scr = &kernelScratch{k: rs.kern}
+	rs.scr.allocPanels(ns)
 	if opts.Overlap == OverlapOn {
 		rs.overlap = true
 		rs.ov = mesh.BuildOverlap(rs.local, rs.plan)
@@ -196,11 +237,17 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 			continue
 		}
 		if reg.IsFluid() {
-			rs.fluid = &fluidField{
-				reg:     reg,
-				chi:     make([]float32, reg.NGlob),
-				chiDot:  make([]float32, reg.NGlob),
-				chiDdot: make([]float32, reg.NGlob),
+			rs.fluid = make([]*fluidField, ns)
+			rs.fluidChiDdot = make([][]float32, ns)
+			for s := 0; s < ns; s++ {
+				fl := &fluidField{
+					reg:     reg,
+					chi:     make([]float32, reg.NGlob),
+					chiDot:  make([]float32, reg.NGlob),
+					chiDdot: make([]float32, reg.NGlob),
+				}
+				rs.fluid[s] = fl
+				rs.fluidChiDdot[s] = fl.chiDdot
 			}
 			continue
 		}
@@ -239,19 +286,36 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 				f.rhatZ[i] = float32(p[2] / r)
 			}
 		}
-		rs.solid[kind] = f
+		fs := make([]*solidField, ns)
+		fs[0] = f
+		for s := 1; s < ns; s++ {
+			// Additional wavefields share all mesh-static members and
+			// get fresh dynamic arrays.
+			g := *f
+			g.dx, g.dy, g.dz = make([]float32, reg.NGlob), make([]float32, reg.NGlob), make([]float32, reg.NGlob)
+			g.vx, g.vy, g.vz = make([]float32, reg.NGlob), make([]float32, reg.NGlob), make([]float32, reg.NGlob)
+			g.ax, g.ay, g.az = make([]float32, reg.NGlob), make([]float32, reg.NGlob), make([]float32, reg.NGlob)
+			if f.att != nil {
+				g.att = f.att.clone()
+			}
+			fs[s] = &g
+		}
+		rs.solid[kind] = fs
 	}
 
-	if fl := rs.fluid; fl != nil {
-		rs.chiSrc = fl.chiDdot
-		rs.fluidFace = couplingFacePoints(rs.local, fl.reg.NGlob)
+	if fls := rs.fluid; fls != nil {
+		rs.chiSrc = make([][]float32, ns)
+		for s, fl := range fls {
+			rs.chiSrc[s] = fl.chiDdot
+		}
+		rs.fluidFace = couplingFacePoints(rs.local, fls[0].reg.NGlob)
 		// The deferred fluid schedule (corrector + non-boundary mass
 		// division under the solid halo) needs the overlap schedule's
 		// non-blocking window; the blocking baseline keeps the original
 		// order.
 		if rs.overlap {
 			rs.fluidDeferred = true
-			rs.fluidRest = complementSorted(rs.fluidFace, fl.reg.NGlob)
+			rs.fluidRest = complementSorted(rs.fluidFace, fls[0].reg.NGlob)
 		}
 	}
 	if rs.lts != nil {
@@ -273,7 +337,7 @@ func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 		}
 		rl := rs.prepareReceiver(rcv, opts, dt)
 		rs.recvs = append(rs.recvs, rl)
-		rs.seismos = append(rs.seismos, rl.out)
+		rs.seismos = append(rs.seismos, rl.out...)
 	}
 	return rs
 }
@@ -364,10 +428,15 @@ func (rs *rankState) assembleMass() {
 		for i, v := range m {
 			inv[i] = 1 / v
 		}
+		// All batched wavefields share the one assembled inverse mass.
 		if reg.IsFluid() {
-			rs.fluid.massInv = inv
+			for _, fl := range rs.fluid {
+				fl.massInv = inv
+			}
 		} else {
-			rs.solid[kind].massInv = inv
+			for _, f := range rs.solid[kind] {
+				f.massInv = inv
+			}
 		}
 		if kind == int(earthmodel.RegionCrustMantle) && rs.opts.OceanLoad {
 			sl := &rs.local.Surface
@@ -427,16 +496,19 @@ func (rs *rankState) postRecv(peer, tag int) func() []float32 {
 // assembleScalar sums the shared-point contributions of a per-point
 // scalar array across ranks (in place), blocking until complete.
 func (rs *rankState) assembleScalar(kind int, vals []float32) {
-	rs.beginAssembleScalar(kind, vals).finish()
+	rs.beginAssembleScalarFields(kind, [][]float32{vals}).finish()
 }
 
-// beginAssembleScalar packs and sends this rank's contributions for a
-// scalar field and posts the receives. Halo-point entries of vals must
-// be final before the call; only non-halo points may be written between
-// begin and finish. Under LTS, the current level's edge masks shrink
-// the payloads to the firing positions (both endpoints agree after the
-// point-rate reconciliation), and fully dormant edges are skipped.
-func (rs *rankState) beginAssembleScalar(kind int, vals []float32) *pendingExchange {
+// beginAssembleScalarFields packs and sends this rank's contributions
+// for one or more scalar wavefields — one aggregated message per
+// neighbor carrying all fields field-major (S× payload, 1× latency) —
+// and posts the receives. Halo-point entries must be final before the
+// call; only non-halo points may be written between begin and finish.
+// Under LTS, the current level's edge masks shrink the payloads to the
+// firing positions (both endpoints agree after the point-rate
+// reconciliation), and fully dormant edges are skipped. With a single
+// field the wire format is byte-identical to the unbatched exchange.
+func (rs *rankState) beginAssembleScalarFields(kind int, fields [][]float32) *pendingExchange {
 	// Consume a tag unconditionally so sequence numbers stay aligned
 	// across ranks even when this rank has no edges for the region.
 	tag := rs.nextTag()
@@ -451,31 +523,41 @@ func (rs *rankState) beginAssembleScalar(kind int, vals []float32) *pendingExcha
 			if len(m) == 0 {
 				continue // no firing point on this edge this step
 			}
-			buf := make([]float32, len(m))
-			for j, pos := range m {
-				buf[j] = vals[e.Idx[pos]]
+			n := len(m)
+			buf := make([]float32, len(fields)*n)
+			for s, vals := range fields {
+				for j, pos := range m {
+					buf[s*n+j] = vals[e.Idx[pos]]
+				}
 			}
 			rs.comm.Isend(e.Peer, tag, buf)
 			p.recvs = append(p.recvs, haloRecv{
 				wait: rs.postRecv(e.Peer, tag),
 				apply: func(got []float32) {
-					for j, pos := range m {
-						vals[e.Idx[pos]] += got[j]
+					for s, vals := range fields {
+						for j, pos := range m {
+							vals[e.Idx[pos]] += got[s*n+j]
+						}
 					}
 				},
 			})
 			continue
 		}
-		buf := make([]float32, len(e.Idx))
-		for j, idx := range e.Idx {
-			buf[j] = vals[idx]
+		n := len(e.Idx)
+		buf := make([]float32, len(fields)*n)
+		for s, vals := range fields {
+			for j, idx := range e.Idx {
+				buf[s*n+j] = vals[idx]
+			}
 		}
 		rs.comm.Isend(e.Peer, tag, buf)
 		p.recvs = append(p.recvs, haloRecv{
 			wait: rs.postRecv(e.Peer, tag),
 			apply: func(got []float32) {
-				for j, idx := range e.Idx {
-					vals[idx] += got[j]
+				for s, vals := range fields {
+					for j, idx := range e.Idx {
+						vals[idx] += got[s*n+j]
+					}
 				}
 			},
 		})
@@ -483,15 +565,17 @@ func (rs *rankState) beginAssembleScalar(kind int, vals []float32) *pendingExcha
 	return p
 }
 
-// assembleVector is assembleScalar for three-component fields packed as
-// [x..., y..., z...] per edge.
+// assembleVector is assembleScalar for a three-component field packed
+// as [x..., y..., z...] per edge.
 func (rs *rankState) assembleVector(kind int, x, y, z []float32) {
-	rs.beginAssembleVector(kind, x, y, z).finish()
+	rs.beginAssembleVectorFields(kind, [][3][]float32{{x, y, z}}).finish()
 }
 
-// beginAssembleVector is beginAssembleScalar for three-component
-// fields (including its LTS edge masking).
-func (rs *rankState) beginAssembleVector(kind int, x, y, z []float32) *pendingExchange {
+// beginAssembleVectorFields is beginAssembleScalarFields for
+// three-component wavefields (including its LTS edge masking): each
+// neighbor gets one message with the fields' [x(n), y(n), z(n)] blocks
+// back to back in field order.
+func (rs *rankState) beginAssembleVectorFields(kind int, fields [][3][]float32) *pendingExchange {
 	tag := rs.nextTag()
 	p := &pendingExchange{}
 	edges := rs.plan.Edges[kind]
@@ -504,47 +588,73 @@ func (rs *rankState) beginAssembleVector(kind int, x, y, z []float32) *pendingEx
 				continue
 			}
 			n := len(m)
-			buf := make([]float32, 3*n)
-			for j, pos := range m {
-				idx := e.Idx[pos]
-				buf[j] = x[idx]
-				buf[n+j] = y[idx]
-				buf[2*n+j] = z[idx]
+			buf := make([]float32, len(fields)*3*n)
+			for s, xyz := range fields {
+				b := s * 3 * n
+				x, y, z := xyz[0], xyz[1], xyz[2]
+				for j, pos := range m {
+					idx := e.Idx[pos]
+					buf[b+j] = x[idx]
+					buf[b+n+j] = y[idx]
+					buf[b+2*n+j] = z[idx]
+				}
 			}
 			rs.comm.Isend(e.Peer, tag, buf)
 			p.recvs = append(p.recvs, haloRecv{
 				wait: rs.postRecv(e.Peer, tag),
 				apply: func(got []float32) {
-					for j, pos := range m {
-						idx := e.Idx[pos]
-						x[idx] += got[j]
-						y[idx] += got[n+j]
-						z[idx] += got[2*n+j]
+					for s, xyz := range fields {
+						b := s * 3 * n
+						x, y, z := xyz[0], xyz[1], xyz[2]
+						for j, pos := range m {
+							idx := e.Idx[pos]
+							x[idx] += got[b+j]
+							y[idx] += got[b+n+j]
+							z[idx] += got[b+2*n+j]
+						}
 					}
 				},
 			})
 			continue
 		}
 		n := len(e.Idx)
-		buf := make([]float32, 3*n)
-		for j, idx := range e.Idx {
-			buf[j] = x[idx]
-			buf[n+j] = y[idx]
-			buf[2*n+j] = z[idx]
+		buf := make([]float32, len(fields)*3*n)
+		for s, xyz := range fields {
+			b := s * 3 * n
+			x, y, z := xyz[0], xyz[1], xyz[2]
+			for j, idx := range e.Idx {
+				buf[b+j] = x[idx]
+				buf[b+n+j] = y[idx]
+				buf[b+2*n+j] = z[idx]
+			}
 		}
 		rs.comm.Isend(e.Peer, tag, buf)
 		p.recvs = append(p.recvs, haloRecv{
 			wait: rs.postRecv(e.Peer, tag),
 			apply: func(got []float32) {
-				for j, idx := range e.Idx {
-					x[idx] += got[j]
-					y[idx] += got[n+j]
-					z[idx] += got[2*n+j]
+				for s, xyz := range fields {
+					b := s * 3 * n
+					x, y, z := xyz[0], xyz[1], xyz[2]
+					for j, idx := range e.Idx {
+						x[idx] += got[b+j]
+						y[idx] += got[b+n+j]
+						z[idx] += got[b+2*n+j]
+					}
 				}
 			},
 		})
 	}
 	return p
+}
+
+// beginAssembleAccelFields begins the aggregated acceleration exchange
+// of one solid region's whole ensemble.
+func (rs *rankState) beginAssembleAccelFields(kind int, fs []*solidField) *pendingExchange {
+	fields := make([][3][]float32, len(fs))
+	for s, f := range fs {
+		fields[s] = [3][]float32{f.ax, f.ay, f.az}
+	}
+	return rs.beginAssembleVectorFields(kind, fields)
 }
 
 // assembleSolidCombined exchanges crust/mantle and inner-core boundary
@@ -576,10 +686,13 @@ func (cp *combinedPart) points() int {
 }
 
 // beginAssembleSolidCombined packs both solid regions' boundary
-// accelerations into one message per neighbor and posts the receives.
-// Peers of either region receive one combined buffer. Under LTS the
-// per-region edge masks shrink each part to the firing positions, and
-// a peer with nothing firing in either region is skipped this step.
+// accelerations — of every batched wavefield — into one message per
+// neighbor and posts the receives. Peers of either region receive one
+// combined buffer with the fields' [cm, ic] parts back to back in
+// field order (byte-identical to the unbatched wire format at ns=1).
+// Under LTS the per-region edge masks shrink each part to the firing
+// positions, and a peer with nothing firing in either region is
+// skipped this step.
 func (rs *rankState) beginAssembleSolidCombined() *pendingExchange {
 	cm := rs.solid[earthmodel.RegionCrustMantle]
 	ic := rs.solid[earthmodel.RegionInnerCore]
@@ -656,20 +769,31 @@ func (rs *rankState) beginAssembleSolidCombined() *pendingExchange {
 		}
 		return off + 3*n
 	}
+	fieldAt := func(fs []*solidField, s int) *solidField {
+		if fs == nil {
+			return nil // region absent; its part packs zero points
+		}
+		return fs[s]
+	}
 	for _, peer := range order {
 		pe := peers[peer]
 		if pe[0].points()+pe[1].points() == 0 {
 			continue // nothing firing toward this peer; both sides agree
 		}
 		var buf []float32
-		buf = pack(cm, pe[0], buf)
-		buf = pack(ic, pe[1], buf)
+		for s := 0; s < rs.ns; s++ {
+			buf = pack(fieldAt(cm, s), pe[0], buf)
+			buf = pack(fieldAt(ic, s), pe[1], buf)
+		}
 		rs.comm.Isend(peer, tag, buf)
 		p.recvs = append(p.recvs, haloRecv{
 			wait: rs.postRecv(peer, tag),
 			apply: func(got []float32) {
-				off := unpack(cm, pe[0], got, 0)
-				unpack(ic, pe[1], got, off)
+				off := 0
+				for s := 0; s < rs.ns; s++ {
+					off = unpack(fieldAt(cm, s), pe[0], got, off)
+					off = unpack(fieldAt(ic, s), pe[1], got, off)
+				}
 			},
 		})
 	}
@@ -692,15 +816,14 @@ func (rs *rankState) flushPoolTime() {
 // relies on).
 func (rs *rankState) maxDisplacement() float64 {
 	m := 0.0
-	for _, f := range rs.solid {
-		if f == nil {
-			continue
-		}
-		for i := range f.dx {
-			for _, v := range [3]float32{f.dx[i], f.dy[i], f.dz[i]} {
-				a := math.Abs(float64(v))
-				if a > m || math.IsNaN(a) {
-					m = a
+	for _, fs := range rs.solid {
+		for _, f := range fs {
+			for i := range f.dx {
+				for _, v := range [3]float32{f.dx[i], f.dy[i], f.dz[i]} {
+					a := math.Abs(float64(v))
+					if a > m || math.IsNaN(a) {
+						m = a
+					}
 				}
 			}
 		}

@@ -25,34 +25,48 @@ import (
 // With attenuation enabled, the deviatoric stress is corrected by the
 // standard-linear-solid memory variables, which are then advanced one
 // step with their exponential recursion.
-func (rs *rankState) computeSolidForces(f *solidField, classes [][]int32) {
+//
+// Batched runs sweep all ns wavefields per element visit: the
+// element-static loads (Jacobians, materials, Ibool, the derivative
+// matrix) are touched once and reused across the ensemble, so the
+// analytic byte model charges the static share once per element and
+// only the dynamic share per field — raising arithmetic intensity ~ns×
+// on the element-static traffic.
+func (rs *rankState) computeSolidForces(fs []*solidField, classes [][]int32) {
 	numE := 0
 	for _, class := range classes {
 		numE += len(class)
 		rs.pool.sweepElems(rs.scr, class, &rs.forceBusy, func(ks *kernelScratch, elems []int32) {
-			rs.solidForcesChunk(f, ks, elems)
+			rs.solidForcesChunk(fs, ks, elems)
 		})
 	}
-	flops := rs.fc.SolidElement * int64(numE)
-	bytes := rs.bc.SolidElement * int64(numE)
-	if f.att != nil {
+	ns := int64(len(fs))
+	flops := rs.fc.SolidElement * int64(numE) * ns
+	bytes := (rs.bc.SolidElementStatic + ns*rs.bc.SolidElementDynamic) * int64(numE)
+	if fs[0].att != nil {
 		// Memory-variable work: per point, per mechanism, 6 components
 		// of subtract + 2-op recursion update, plus the deviator setup.
-		flops += int64(numE) * int64(mesh.NGLL3) * int64(f.att.nsls*6*3+8)
-		bytes += rs.bc.AttenuationMech * int64(f.att.nsls) * int64(numE)
+		// Memory variables are per field, so both flops and bytes scale
+		// with the ensemble.
+		flops += ns * int64(numE) * int64(mesh.NGLL3) * int64(fs[0].att.nsls*6*3+8)
+		bytes += rs.bc.AttenuationMech * int64(fs[0].att.nsls) * int64(numE) * ns
 	}
 	rs.prof.AddFlops(perf.PhaseForceSolid, flops)
 	rs.prof.AddBytes(perf.PhaseForceSolid, bytes)
 }
 
 // solidForcesChunk processes one conflict-free chunk of elements on a
-// worker (or inline) scratch.
-func (rs *rankState) solidForcesChunk(f *solidField, ks *kernelScratch, elems []int32) {
+// worker (or inline) scratch. The wavefield loop nests *inside* the
+// element loop so each element's static data stays cache-hot across the
+// whole ensemble; per-field arithmetic is the exact sequence of the
+// single-field path, so every batched field is bit-identical to its own
+// solo run.
+func (rs *rankState) solidForcesChunk(fs []*solidField, ks *kernelScratch, elems []int32) {
 	if ks.k.variant == KernelFused {
-		rs.solidForcesChunkFused(f, ks, elems)
+		rs.solidForcesChunkFused(fs, ks, elems)
 		return
 	}
-	reg := f.reg
+	reg := fs[0].reg
 	k := ks.k
 
 	for _, e32 := range elems {
@@ -60,240 +74,271 @@ func (rs *rankState) solidForcesChunk(f *solidField, ks *kernelScratch, elems []
 		base := e * mesh.NGLL3
 		ib := reg.Ibool[base : base+mesh.NGLL3]
 
-		// Gather element displacement.
-		for p, g := range ib {
-			ks.ux[p] = f.dx[g]
-			ks.uy[p] = f.dy[g]
-			ks.uz[p] = f.dz[g]
-		}
+		for _, f := range fs {
 
-		// Reference-space gradients of each displacement component.
-		k.grad(ks.ux[:], ks.t1x[:], ks.t2x[:], ks.t3x[:])
-		k.grad(ks.uy[:], ks.t1y[:], ks.t2y[:], ks.t3y[:])
-		k.grad(ks.uz[:], ks.t1z[:], ks.t2z[:], ks.t3z[:])
-
-		var att *attState
-		var muFac float32 = 1
-		if f.att != nil {
-			att = f.att
-			muFac = att.muFac[e]
-		}
-
-		// Pointwise: physical gradients, strain, stress, and the
-		// Jacobian-weighted flux blocks for the transpose stage.
-		for p := 0; p < mesh.NGLL3; p++ {
-			ip := base + p
-			xix, xiy, xiz := reg.Xix[ip], reg.Xiy[ip], reg.Xiz[ip]
-			etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
-			gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
-
-			duxdx := xix*ks.t1x[p] + etx*ks.t2x[p] + gmx*ks.t3x[p]
-			duxdy := xiy*ks.t1x[p] + ety*ks.t2x[p] + gmy*ks.t3x[p]
-			duxdz := xiz*ks.t1x[p] + etz*ks.t2x[p] + gmz*ks.t3x[p]
-			duydx := xix*ks.t1y[p] + etx*ks.t2y[p] + gmx*ks.t3y[p]
-			duydy := xiy*ks.t1y[p] + ety*ks.t2y[p] + gmy*ks.t3y[p]
-			duydz := xiz*ks.t1y[p] + etz*ks.t2y[p] + gmz*ks.t3y[p]
-			duzdx := xix*ks.t1z[p] + etx*ks.t2z[p] + gmx*ks.t3z[p]
-			duzdy := xiy*ks.t1z[p] + ety*ks.t2z[p] + gmy*ks.t3z[p]
-			duzdz := xiz*ks.t1z[p] + etz*ks.t2z[p] + gmz*ks.t3z[p]
-
-			exy := 0.5 * (duxdy + duydx)
-			exz := 0.5 * (duxdz + duzdx)
-			eyz := 0.5 * (duydz + duzdy)
-			tr := duxdx + duydy + duzdz
-
-			mu := reg.Mu[ip] * muFac
-			kap := reg.Kappa[ip]
-			lam := kap - (2.0/3.0)*mu
-
-			sxx := lam*tr + 2*mu*duxdx
-			syy := lam*tr + 2*mu*duydy
-			szz := lam*tr + 2*mu*duzdz
-			sxy := 2 * mu * exy
-			sxz := 2 * mu * exz
-			syz := 2 * mu * eyz
-
-			if att != nil {
-				// Subtract the memory-variable stresses, then advance
-				// the recursions toward the current deviatoric strain.
-				third := tr * (1.0 / 3.0)
-				dxx := duxdx - third
-				dyy := duydy - third
-				dzz := duzdz - third
-				for m := 0; m < att.nsls; m++ {
-					al := att.alpha[m][e]
-					be := att.beta[m][e] * mu
-					r := &att.r[m]
-					sxx -= r[0][ip]
-					syy -= r[1][ip]
-					szz -= r[2][ip]
-					sxy -= r[3][ip]
-					sxz -= r[4][ip]
-					syz -= r[5][ip]
-					r[0][ip] = al*r[0][ip] + be*2*dxx
-					r[1][ip] = al*r[1][ip] + be*2*dyy
-					r[2][ip] = al*r[2][ip] + be*2*dzz
-					r[3][ip] = al*r[3][ip] + be*2*exy
-					r[4][ip] = al*r[4][ip] + be*2*exz
-					r[5][ip] = al*r[5][ip] + be*2*eyz
-				}
+			// Gather element displacement.
+			for p, g := range ib {
+				ks.ux[p] = f.dx[g]
+				ks.uy[p] = f.dy[g]
+				ks.uz[p] = f.dz[g]
 			}
 
-			jac := reg.Jac[ip]
-			ks.s1x[p] = jac * (sxx*xix + sxy*xiy + sxz*xiz)
-			ks.s1y[p] = jac * (sxy*xix + syy*xiy + syz*xiz)
-			ks.s1z[p] = jac * (sxz*xix + syz*xiy + szz*xiz)
-			ks.s2x[p] = jac * (sxx*etx + sxy*ety + sxz*etz)
-			ks.s2y[p] = jac * (sxy*etx + syy*ety + syz*etz)
-			ks.s2z[p] = jac * (sxz*etx + syz*ety + szz*etz)
-			ks.s3x[p] = jac * (sxx*gmx + sxy*gmy + sxz*gmz)
-			ks.s3y[p] = jac * (sxy*gmx + syy*gmy + syz*gmz)
-			ks.s3z[p] = jac * (sxz*gmx + syz*gmy + szz*gmz)
-		}
+			// Reference-space gradients of each displacement component.
+			k.grad(ks.ux[:], ks.t1x[:], ks.t2x[:], ks.t3x[:])
+			k.grad(ks.uy[:], ks.t1y[:], ks.t2y[:], ks.t3y[:])
+			k.grad(ks.uz[:], ks.t1z[:], ks.t2z[:], ks.t3z[:])
 
-		// Weighted-transpose accumulation, reusing the t blocks.
-		k.gradT1(ks.s1x[:], ks.t1x[:])
-		k.gradT2(ks.s2x[:], ks.t2x[:])
-		k.gradT3(ks.s3x[:], ks.t3x[:])
-		k.gradT1(ks.s1y[:], ks.t1y[:])
-		k.gradT2(ks.s2y[:], ks.t2y[:])
-		k.gradT3(ks.s3y[:], ks.t3y[:])
-		k.gradT1(ks.s1z[:], ks.t1z[:])
-		k.gradT2(ks.s2z[:], ks.t2z[:])
-		k.gradT3(ks.s3z[:], ks.t3z[:])
+			var att *attState
+			var muFac float32 = 1
+			if f.att != nil {
+				att = f.att
+				muFac = att.muFac[e]
+			}
 
-		for p, g := range ib {
-			f.ax[g] -= k.fac1[p]*ks.t1x[p] + k.fac2[p]*ks.t2x[p] + k.fac3[p]*ks.t3x[p]
-			f.ay[g] -= k.fac1[p]*ks.t1y[p] + k.fac2[p]*ks.t2y[p] + k.fac3[p]*ks.t3y[p]
-			f.az[g] -= k.fac1[p]*ks.t1z[p] + k.fac2[p]*ks.t2z[p] + k.fac3[p]*ks.t3z[p]
+			// Pointwise: physical gradients, strain, stress, and the
+			// Jacobian-weighted flux blocks for the transpose stage.
+			for p := 0; p < mesh.NGLL3; p++ {
+				ip := base + p
+				xix, xiy, xiz := reg.Xix[ip], reg.Xiy[ip], reg.Xiz[ip]
+				etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
+				gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
+
+				duxdx := xix*ks.t1x[p] + etx*ks.t2x[p] + gmx*ks.t3x[p]
+				duxdy := xiy*ks.t1x[p] + ety*ks.t2x[p] + gmy*ks.t3x[p]
+				duxdz := xiz*ks.t1x[p] + etz*ks.t2x[p] + gmz*ks.t3x[p]
+				duydx := xix*ks.t1y[p] + etx*ks.t2y[p] + gmx*ks.t3y[p]
+				duydy := xiy*ks.t1y[p] + ety*ks.t2y[p] + gmy*ks.t3y[p]
+				duydz := xiz*ks.t1y[p] + etz*ks.t2y[p] + gmz*ks.t3y[p]
+				duzdx := xix*ks.t1z[p] + etx*ks.t2z[p] + gmx*ks.t3z[p]
+				duzdy := xiy*ks.t1z[p] + ety*ks.t2z[p] + gmy*ks.t3z[p]
+				duzdz := xiz*ks.t1z[p] + etz*ks.t2z[p] + gmz*ks.t3z[p]
+
+				exy := 0.5 * (duxdy + duydx)
+				exz := 0.5 * (duxdz + duzdx)
+				eyz := 0.5 * (duydz + duzdy)
+				tr := duxdx + duydy + duzdz
+
+				mu := reg.Mu[ip] * muFac
+				kap := reg.Kappa[ip]
+				lam := kap - (2.0/3.0)*mu
+
+				sxx := lam*tr + 2*mu*duxdx
+				syy := lam*tr + 2*mu*duydy
+				szz := lam*tr + 2*mu*duzdz
+				sxy := 2 * mu * exy
+				sxz := 2 * mu * exz
+				syz := 2 * mu * eyz
+
+				if att != nil {
+					// Subtract the memory-variable stresses, then advance
+					// the recursions toward the current deviatoric strain.
+					third := tr * (1.0 / 3.0)
+					dxx := duxdx - third
+					dyy := duydy - third
+					dzz := duzdz - third
+					for m := 0; m < att.nsls; m++ {
+						al := att.alpha[m][e]
+						be := att.beta[m][e] * mu
+						r := &att.r[m]
+						sxx -= r[0][ip]
+						syy -= r[1][ip]
+						szz -= r[2][ip]
+						sxy -= r[3][ip]
+						sxz -= r[4][ip]
+						syz -= r[5][ip]
+						r[0][ip] = al*r[0][ip] + be*2*dxx
+						r[1][ip] = al*r[1][ip] + be*2*dyy
+						r[2][ip] = al*r[2][ip] + be*2*dzz
+						r[3][ip] = al*r[3][ip] + be*2*exy
+						r[4][ip] = al*r[4][ip] + be*2*exz
+						r[5][ip] = al*r[5][ip] + be*2*eyz
+					}
+				}
+
+				jac := reg.Jac[ip]
+				ks.s1x[p] = jac * (sxx*xix + sxy*xiy + sxz*xiz)
+				ks.s1y[p] = jac * (sxy*xix + syy*xiy + syz*xiz)
+				ks.s1z[p] = jac * (sxz*xix + syz*xiy + szz*xiz)
+				ks.s2x[p] = jac * (sxx*etx + sxy*ety + sxz*etz)
+				ks.s2y[p] = jac * (sxy*etx + syy*ety + syz*etz)
+				ks.s2z[p] = jac * (sxz*etx + syz*ety + szz*etz)
+				ks.s3x[p] = jac * (sxx*gmx + sxy*gmy + sxz*gmz)
+				ks.s3y[p] = jac * (sxy*gmx + syy*gmy + syz*gmz)
+				ks.s3z[p] = jac * (sxz*gmx + syz*gmy + szz*gmz)
+			}
+
+			// Weighted-transpose accumulation, reusing the t blocks.
+			k.gradT1(ks.s1x[:], ks.t1x[:])
+			k.gradT2(ks.s2x[:], ks.t2x[:])
+			k.gradT3(ks.s3x[:], ks.t3x[:])
+			k.gradT1(ks.s1y[:], ks.t1y[:])
+			k.gradT2(ks.s2y[:], ks.t2y[:])
+			k.gradT3(ks.s3y[:], ks.t3y[:])
+			k.gradT1(ks.s1z[:], ks.t1z[:])
+			k.gradT2(ks.s2z[:], ks.t2z[:])
+			k.gradT3(ks.s3z[:], ks.t3z[:])
+
+			for p, g := range ib {
+				f.ax[g] -= k.fac1[p]*ks.t1x[p] + k.fac2[p]*ks.t2x[p] + k.fac3[p]*ks.t3x[p]
+				f.ay[g] -= k.fac1[p]*ks.t1y[p] + k.fac2[p]*ks.t2y[p] + k.fac3[p]*ks.t3y[p]
+				f.az[g] -= k.fac1[p]*ks.t1z[p] + k.fac2[p]*ks.t2z[p] + k.fac3[p]*ks.t3z[p]
+			}
+
 		}
 	}
 }
 
 // solidForcesChunkFused is the KernelFused sweep: per element, one
-// gather, ONE batched gradient over the 3-component panel (the 5x5
-// matrix stays loaded for all three), the unchanged pointwise stress
-// stage, then a fused weighted-transpose accumulation per component —
-// the nine t blocks of the unfused path never round-trip through the
-// scratch, and the scatter reads one accumulator block per component
-// instead of recombining three. The pointwise arithmetic is textually
-// the same multiply-add sequence as solidForcesChunk, so cross-variant
-// agreement holds to the usual float32 tolerance; per-element work is
-// independent of chunk and panel boundaries, so results stay
-// bit-identical at every worker count.
-func (rs *rankState) solidForcesChunkFused(f *solidField, ks *kernelScratch, elems []int32) {
-	reg := f.reg
+// gather of the whole ensemble, ONE batched gradient over the 3*ns
+// component panel (the 5x5 matrix stays loaded for every component of
+// every wavefield), the unchanged pointwise stress stage per field,
+// then a batched fused weighted-transpose per component sweeping all ns
+// flux panels — the element-static Jacobian/material/Ibool loads and
+// both register-resident matrices are paid once per element regardless
+// of the ensemble width. The per-field arithmetic is textually the same
+// multiply-add sequence as the single-field path, and the batched simd
+// contractions process each padded block independently, so every
+// batched field stays bit-identical to its own solo run at every worker
+// count.
+func (rs *rankState) solidForcesChunkFused(fs []*solidField, ks *kernelScratch, elems []int32) {
+	reg := fs[0].reg
 	k := ks.k
-	ux := ks.pu[0*simd.PadLen : 1*simd.PadLen]
-	uy := ks.pu[1*simd.PadLen : 2*simd.PadLen]
-	uz := ks.pu[2*simd.PadLen : 3*simd.PadLen]
-	t1x := ks.pt1[0*simd.PadLen : 1*simd.PadLen]
-	t1y := ks.pt1[1*simd.PadLen : 2*simd.PadLen]
-	t1z := ks.pt1[2*simd.PadLen : 3*simd.PadLen]
-	t2x := ks.pt2[0*simd.PadLen : 1*simd.PadLen]
-	t2y := ks.pt2[1*simd.PadLen : 2*simd.PadLen]
-	t2z := ks.pt2[2*simd.PadLen : 3*simd.PadLen]
-	t3x := ks.pt3[0*simd.PadLen : 1*simd.PadLen]
-	t3y := ks.pt3[1*simd.PadLen : 2*simd.PadLen]
-	t3z := ks.pt3[2*simd.PadLen : 3*simd.PadLen]
+	ns := len(fs)
 
 	for _, e32 := range elems {
 		e := int(e32)
 		base := e * mesh.NGLL3
 		ib := reg.Ibool[base : base+mesh.NGLL3]
 
-		for p, g := range ib {
-			ux[p] = f.dx[g]
-			uy[p] = f.dy[g]
-			uz[p] = f.dz[g]
+		for s, f := range fs {
+			b := 3 * s * simd.PadLen
+			ux := ks.pu[b : b+simd.PadLen]
+			uy := ks.pu[b+simd.PadLen : b+2*simd.PadLen]
+			uz := ks.pu[b+2*simd.PadLen : b+3*simd.PadLen]
+			for p, g := range ib {
+				ux[p] = f.dx[g]
+				uy[p] = f.dy[g]
+				uz[p] = f.dz[g]
+			}
 		}
 
-		simd.ApplyDGradBatch(k.hprime, ks.pu[:], ks.pt1[:], ks.pt2[:], ks.pt3[:], 3)
+		simd.ApplyDGradBatch(k.hprime, ks.pu, ks.pt1, ks.pt2, ks.pt3, 3*ns)
 
-		var att *attState
-		var muFac float32 = 1
-		if f.att != nil {
-			att = f.att
-			muFac = att.muFac[e]
-		}
+		for s, f := range fs {
+			b := 3 * s * simd.PadLen
+			t1x := ks.pt1[b : b+simd.PadLen]
+			t1y := ks.pt1[b+simd.PadLen : b+2*simd.PadLen]
+			t1z := ks.pt1[b+2*simd.PadLen : b+3*simd.PadLen]
+			t2x := ks.pt2[b : b+simd.PadLen]
+			t2y := ks.pt2[b+simd.PadLen : b+2*simd.PadLen]
+			t2z := ks.pt2[b+2*simd.PadLen : b+3*simd.PadLen]
+			t3x := ks.pt3[b : b+simd.PadLen]
+			t3y := ks.pt3[b+simd.PadLen : b+2*simd.PadLen]
+			t3z := ks.pt3[b+2*simd.PadLen : b+3*simd.PadLen]
+			sb := s * simd.PadLen
+			s1x := ks.ps1x[sb : sb+simd.PadLen]
+			s1y := ks.ps1y[sb : sb+simd.PadLen]
+			s1z := ks.ps1z[sb : sb+simd.PadLen]
+			s2x := ks.ps2x[sb : sb+simd.PadLen]
+			s2y := ks.ps2y[sb : sb+simd.PadLen]
+			s2z := ks.ps2z[sb : sb+simd.PadLen]
+			s3x := ks.ps3x[sb : sb+simd.PadLen]
+			s3y := ks.ps3y[sb : sb+simd.PadLen]
+			s3z := ks.ps3z[sb : sb+simd.PadLen]
 
-		for p := 0; p < mesh.NGLL3; p++ {
-			ip := base + p
-			xix, xiy, xiz := reg.Xix[ip], reg.Xiy[ip], reg.Xiz[ip]
-			etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
-			gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
-
-			duxdx := xix*t1x[p] + etx*t2x[p] + gmx*t3x[p]
-			duxdy := xiy*t1x[p] + ety*t2x[p] + gmy*t3x[p]
-			duxdz := xiz*t1x[p] + etz*t2x[p] + gmz*t3x[p]
-			duydx := xix*t1y[p] + etx*t2y[p] + gmx*t3y[p]
-			duydy := xiy*t1y[p] + ety*t2y[p] + gmy*t3y[p]
-			duydz := xiz*t1y[p] + etz*t2y[p] + gmz*t3y[p]
-			duzdx := xix*t1z[p] + etx*t2z[p] + gmx*t3z[p]
-			duzdy := xiy*t1z[p] + ety*t2z[p] + gmy*t3z[p]
-			duzdz := xiz*t1z[p] + etz*t2z[p] + gmz*t3z[p]
-
-			exy := 0.5 * (duxdy + duydx)
-			exz := 0.5 * (duxdz + duzdx)
-			eyz := 0.5 * (duydz + duzdy)
-			tr := duxdx + duydy + duzdz
-
-			mu := reg.Mu[ip] * muFac
-			kap := reg.Kappa[ip]
-			lam := kap - (2.0/3.0)*mu
-
-			sxx := lam*tr + 2*mu*duxdx
-			syy := lam*tr + 2*mu*duydy
-			szz := lam*tr + 2*mu*duzdz
-			sxy := 2 * mu * exy
-			sxz := 2 * mu * exz
-			syz := 2 * mu * eyz
-
-			if att != nil {
-				third := tr * (1.0 / 3.0)
-				dxx := duxdx - third
-				dyy := duydy - third
-				dzz := duzdz - third
-				for m := 0; m < att.nsls; m++ {
-					al := att.alpha[m][e]
-					be := att.beta[m][e] * mu
-					r := &att.r[m]
-					sxx -= r[0][ip]
-					syy -= r[1][ip]
-					szz -= r[2][ip]
-					sxy -= r[3][ip]
-					sxz -= r[4][ip]
-					syz -= r[5][ip]
-					r[0][ip] = al*r[0][ip] + be*2*dxx
-					r[1][ip] = al*r[1][ip] + be*2*dyy
-					r[2][ip] = al*r[2][ip] + be*2*dzz
-					r[3][ip] = al*r[3][ip] + be*2*exy
-					r[4][ip] = al*r[4][ip] + be*2*exz
-					r[5][ip] = al*r[5][ip] + be*2*eyz
-				}
+			var att *attState
+			var muFac float32 = 1
+			if f.att != nil {
+				att = f.att
+				muFac = att.muFac[e]
 			}
 
-			jac := reg.Jac[ip]
-			ks.s1x[p] = jac * (sxx*xix + sxy*xiy + sxz*xiz)
-			ks.s1y[p] = jac * (sxy*xix + syy*xiy + syz*xiz)
-			ks.s1z[p] = jac * (sxz*xix + syz*xiy + szz*xiz)
-			ks.s2x[p] = jac * (sxx*etx + sxy*ety + sxz*etz)
-			ks.s2y[p] = jac * (sxy*etx + syy*ety + syz*etz)
-			ks.s2z[p] = jac * (sxz*etx + syz*ety + szz*etz)
-			ks.s3x[p] = jac * (sxx*gmx + sxy*gmy + sxz*gmz)
-			ks.s3y[p] = jac * (sxy*gmx + syy*gmy + syz*gmz)
-			ks.s3z[p] = jac * (sxz*gmx + syz*gmy + szz*gmz)
+			for p := 0; p < mesh.NGLL3; p++ {
+				ip := base + p
+				xix, xiy, xiz := reg.Xix[ip], reg.Xiy[ip], reg.Xiz[ip]
+				etx, ety, etz := reg.Etax[ip], reg.Etay[ip], reg.Etaz[ip]
+				gmx, gmy, gmz := reg.Gamx[ip], reg.Gamy[ip], reg.Gamz[ip]
+
+				duxdx := xix*t1x[p] + etx*t2x[p] + gmx*t3x[p]
+				duxdy := xiy*t1x[p] + ety*t2x[p] + gmy*t3x[p]
+				duxdz := xiz*t1x[p] + etz*t2x[p] + gmz*t3x[p]
+				duydx := xix*t1y[p] + etx*t2y[p] + gmx*t3y[p]
+				duydy := xiy*t1y[p] + ety*t2y[p] + gmy*t3y[p]
+				duydz := xiz*t1y[p] + etz*t2y[p] + gmz*t3y[p]
+				duzdx := xix*t1z[p] + etx*t2z[p] + gmx*t3z[p]
+				duzdy := xiy*t1z[p] + ety*t2z[p] + gmy*t3z[p]
+				duzdz := xiz*t1z[p] + etz*t2z[p] + gmz*t3z[p]
+
+				exy := 0.5 * (duxdy + duydx)
+				exz := 0.5 * (duxdz + duzdx)
+				eyz := 0.5 * (duydz + duzdy)
+				tr := duxdx + duydy + duzdz
+
+				mu := reg.Mu[ip] * muFac
+				kap := reg.Kappa[ip]
+				lam := kap - (2.0/3.0)*mu
+
+				sxx := lam*tr + 2*mu*duxdx
+				syy := lam*tr + 2*mu*duydy
+				szz := lam*tr + 2*mu*duzdz
+				sxy := 2 * mu * exy
+				sxz := 2 * mu * exz
+				syz := 2 * mu * eyz
+
+				if att != nil {
+					third := tr * (1.0 / 3.0)
+					dxx := duxdx - third
+					dyy := duydy - third
+					dzz := duzdz - third
+					for m := 0; m < att.nsls; m++ {
+						al := att.alpha[m][e]
+						be := att.beta[m][e] * mu
+						r := &att.r[m]
+						sxx -= r[0][ip]
+						syy -= r[1][ip]
+						szz -= r[2][ip]
+						sxy -= r[3][ip]
+						sxz -= r[4][ip]
+						syz -= r[5][ip]
+						r[0][ip] = al*r[0][ip] + be*2*dxx
+						r[1][ip] = al*r[1][ip] + be*2*dyy
+						r[2][ip] = al*r[2][ip] + be*2*dzz
+						r[3][ip] = al*r[3][ip] + be*2*exy
+						r[4][ip] = al*r[4][ip] + be*2*exz
+						r[5][ip] = al*r[5][ip] + be*2*eyz
+					}
+				}
+
+				jac := reg.Jac[ip]
+				s1x[p] = jac * (sxx*xix + sxy*xiy + sxz*xiz)
+				s1y[p] = jac * (sxy*xix + syy*xiy + syz*xiz)
+				s1z[p] = jac * (sxz*xix + syz*xiy + szz*xiz)
+				s2x[p] = jac * (sxx*etx + sxy*ety + sxz*etz)
+				s2y[p] = jac * (sxy*etx + syy*ety + syz*etz)
+				s2z[p] = jac * (sxz*etx + syz*ety + szz*etz)
+				s3x[p] = jac * (sxx*gmx + sxy*gmy + sxz*gmz)
+				s3y[p] = jac * (sxy*gmx + syy*gmy + syz*gmz)
+				s3z[p] = jac * (sxz*gmx + syz*gmy + szz*gmz)
+			}
 		}
 
-		// Fused weighted transpose: one accumulator block per component.
-		simd.GradTWeightedFused(k.hpwT, ks.s1x[:], ks.s2x[:], ks.s3x[:], k.fac1[:], k.fac2[:], k.fac3[:], ks.t1x[:])
-		simd.GradTWeightedFused(k.hpwT, ks.s1y[:], ks.s2y[:], ks.s3y[:], k.fac1[:], k.fac2[:], k.fac3[:], ks.t1y[:])
-		simd.GradTWeightedFused(k.hpwT, ks.s1z[:], ks.s2z[:], ks.s3z[:], k.fac1[:], k.fac2[:], k.fac3[:], ks.t1z[:])
+		// Batched fused weighted transpose: one accumulator panel per
+		// component, every wavefield's flux blocks swept under one load
+		// of the transpose matrix (the weight blocks are shared).
+		simd.GradTWeightedFusedBatch(k.hpwT, ks.ps1x, ks.ps2x, ks.ps3x, k.fac1[:], k.fac2[:], k.fac3[:], ks.pox, ns)
+		simd.GradTWeightedFusedBatch(k.hpwT, ks.ps1y, ks.ps2y, ks.ps3y, k.fac1[:], k.fac2[:], k.fac3[:], ks.poy, ns)
+		simd.GradTWeightedFusedBatch(k.hpwT, ks.ps1z, ks.ps2z, ks.ps3z, k.fac1[:], k.fac2[:], k.fac3[:], ks.poz, ns)
 
-		for p, g := range ib {
-			f.ax[g] -= ks.t1x[p]
-			f.ay[g] -= ks.t1y[p]
-			f.az[g] -= ks.t1z[p]
+		for s, f := range fs {
+			sb := s * simd.PadLen
+			ox := ks.pox[sb : sb+simd.PadLen]
+			oy := ks.poy[sb : sb+simd.PadLen]
+			oz := ks.poz[sb : sb+simd.PadLen]
+			for p, g := range ib {
+				f.ax[g] -= ox[p]
+				f.ay[g] -= oy[p]
+				f.az[g] -= oz[p]
+			}
 		}
 	}
 }
@@ -304,26 +349,30 @@ func (rs *rankState) solidForcesChunkFused(f *solidField, ks *kernelScratch, ele
 // non-iterative coupling: the fluid acceleration potential is final
 // when this runs).
 func (rs *rankState) addFluidTractionToSolid(faces []mesh.CoupleFace) {
-	fl := rs.fluid
-	if fl == nil {
+	if rs.fluid == nil {
 		return
 	}
-	// rs.chiSrc is fl.chiDdot, or the held LTS shadow when the fluid is
-	// multi-rate (the face values a dormant fluid last produced).
+	// chiSrc[s] is field s's chiDdot, or its held LTS shadow when the
+	// fluid is multi-rate (the face values a dormant fluid last
+	// produced).
 	for fi := range faces {
 		cf := &faces[fi]
-		f := rs.solid[cf.SolidKind]
-		for q := 0; q < mesh.NGLL2; q++ {
-			chidd := rs.chiSrc[cf.FluidPt[q]]
-			w := cf.Weight[q]
-			sp := cf.SolidPt[q]
-			f.ax[sp] -= w * cf.Nx[q] * chidd
-			f.ay[sp] -= w * cf.Ny[q] * chidd
-			f.az[sp] -= w * cf.Nz[q] * chidd
+		fs := rs.solid[cf.SolidKind]
+		for s, f := range fs {
+			chiSrc := rs.chiSrc[s]
+			for q := 0; q < mesh.NGLL2; q++ {
+				chidd := chiSrc[cf.FluidPt[q]]
+				w := cf.Weight[q]
+				sp := cf.SolidPt[q]
+				f.ax[sp] -= w * cf.Nx[q] * chidd
+				f.ay[sp] -= w * cf.Ny[q] * chidd
+				f.az[sp] -= w * cf.Nz[q] * chidd
+			}
 		}
 	}
-	rs.prof.AddFlops(perf.PhaseForceSolid, rs.fc.TractionPoint*int64(len(faces)*mesh.NGLL2))
-	rs.prof.AddBytes(perf.PhaseForceSolid, rs.bc.TractionPoint*int64(len(faces)*mesh.NGLL2))
+	n := int64(len(faces)*mesh.NGLL2) * int64(rs.ns)
+	rs.prof.AddFlops(perf.PhaseForceSolid, rs.fc.TractionPoint*n)
+	rs.prof.AddBytes(perf.PhaseForceSolid, rs.bc.TractionPoint*n)
 }
 
 // gradT1/2/3 apply the weighted transpose matrix along one direction.

@@ -208,6 +208,14 @@ type Source struct {
 	Kind earthmodel.Region
 	Elem int
 	Ref  [3]float64
+	// Field selects the ensemble wavefield this source drives (default
+	// 0). Sources with distinct Field values propagate through
+	// independent wavefields batched through one time loop over the
+	// shared mesh: every element sweep advances all fields, every halo
+	// message carries all fields, and each field's arithmetic is
+	// bit-identical to a single-source run. The number of batched
+	// wavefields is 1 + max(Field) over all sources.
+	Field int
 	// MomentTensor in N*m, symmetric.
 	MomentTensor [3][3]float64
 	// Force in N.
@@ -230,9 +238,12 @@ type Receiver struct {
 	NearestPoint bool
 }
 
-// Seismogram is a recorded three-component time series.
+// Seismogram is a recorded three-component time series. Field
+// identifies the ensemble wavefield (source) it recorded; every
+// receiver records every batched wavefield.
 type Seismogram struct {
 	Name        string
+	Field       int
 	Dt          float64 // sampling interval (solver dt * RecordEvery)
 	X, Y, Z     []float32
 	RecordEvery int
@@ -256,12 +267,24 @@ type Simulation struct {
 
 // Result carries everything a run produces.
 type Result struct {
-	Dt          float64
-	Steps       int
+	Dt    float64
+	Steps int
+	// Seismograms holds field 0's records by station name — the full
+	// result of a single-source run. Alias of BySource[0].
 	Seismograms map[string]*Seismogram
-	Perf        perf.Report
-	MPI         mpi.Stats
-	Energy      []EnergySample
+	// BySource holds one station-name-keyed map per batched wavefield
+	// (len = number of ensemble fields; 1 for single-source runs).
+	BySource []map[string]*Seismogram
+	// NumFields is the number of batched wavefields (1 + max Field).
+	NumFields int
+	// SourceStepsPerSec is the ensemble throughput: time steps times
+	// batched wavefields per wall second. For NumFields == 1 it equals
+	// steps/sec; a batched run beats sequential runs when its
+	// source-steps/sec exceeds the single-source steps/sec.
+	SourceStepsPerSec float64
+	Perf              perf.Report
+	MPI               mpi.Stats
+	Energy            []EnergySample
 	// Movie is the gathered surface wavefield (nil unless
 	// SurfaceMovieEvery was set and the mesh has a free surface).
 	Movie *Movie
@@ -307,6 +330,7 @@ func Run(sim *Simulation) (*Result, error) {
 	if dt <= 0 || math.IsInf(dt, 0) || math.IsNaN(dt) {
 		return nil, fmt.Errorf("solver: bad time step %g", dt)
 	}
+	ns := 1
 	for i := range sim.Sources {
 		s := &sim.Sources[i]
 		if s.Kind == earthmodel.RegionOuterCore {
@@ -317,6 +341,12 @@ func Run(sim *Simulation) (*Result, error) {
 		}
 		if s.Rank < 0 || s.Rank >= len(sim.Locals) {
 			return nil, fmt.Errorf("solver: source %d on invalid rank %d", i, s.Rank)
+		}
+		if s.Field < 0 {
+			return nil, fmt.Errorf("solver: source %d has negative Field %d", i, s.Field)
+		}
+		if s.Field+1 > ns {
+			ns = s.Field + 1
 		}
 	}
 	names := map[string]bool{}
@@ -356,19 +386,23 @@ func Run(sim *Simulation) (*Result, error) {
 
 	world := mpi.NewWorldWith(len(sim.Locals), opts.Network)
 	collector := perf.NewCollector()
-	kernelPool := newPool(opts.Workers, opts.Kernel)
+	kernelPool := newPool(opts.Workers, opts.Kernel, ns)
 	res := &Result{
-		Dt:          dt,
-		Steps:       opts.Steps,
-		Seismograms: map[string]*Seismogram{},
+		Dt:       dt,
+		Steps:    opts.Steps,
+		BySource: make([]map[string]*Seismogram, ns),
 	}
+	for s := range res.BySource {
+		res.BySource[s] = map[string]*Seismogram{}
+	}
+	res.Seismograms = res.BySource[0]
 	var resMu sync.Mutex
 
 	var unstable error
 	var unstableMu sync.Mutex
 	movieOn := opts.SurfaceMovieEvery > 0 && movieSupported(sim)
 	world.Run(func(c *mpi.Comm) {
-		rs := newRankState(c, sim, &opts, dt, slsFit, grav, kernelPool)
+		rs := newRankState(c, sim, &opts, dt, slsFit, grav, kernelPool, ns)
 		rs.assembleMass()
 		var movie *Movie
 		if movieOn {
@@ -429,7 +463,7 @@ func Run(sim *Simulation) (*Result, error) {
 		if len(rs.seismos) > 0 {
 			resMu.Lock()
 			for _, sg := range rs.seismos {
-				res.Seismograms[sg.Name] = sg
+				res.BySource[sg.Field][sg.Name] = sg
 			}
 			resMu.Unlock()
 		}
@@ -439,6 +473,8 @@ func Run(sim *Simulation) (*Result, error) {
 	res.Perf = collector.Report()
 	res.Perf.Workers = opts.Workers
 	res.Perf.WorkerBusy = kernelPool.Busy()
+	res.NumFields = ns
+	res.SourceStepsPerSec = perf.SourceStepsPerSec(opts.Steps, ns, res.Perf.WallTime)
 	res.MPI = world.Stats()
 	if res.LTS != nil {
 		var total, weighted float64

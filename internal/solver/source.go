@@ -94,10 +94,12 @@ func (rs *rankState) addSources(step int) {
 	t := float64(step+1) * rs.dt
 	for i := range rs.sources {
 		sl := &rs.sources[i]
-		f := rs.solid[sl.src.Kind]
-		if f == nil {
+		fs := rs.solid[sl.src.Kind]
+		if fs == nil {
 			continue
 		}
+		// Each source drives its own wavefield of the ensemble.
+		f := fs[sl.src.Field]
 		te := t
 		if rs.lts != nil {
 			if rates := rs.lts.clus.ElemRate[sl.src.Kind]; rates != nil {
@@ -126,17 +128,22 @@ func (rs *rankState) addSources(step int) {
 
 // prepareReceiver resolves a receiver into interpolation weights (or a
 // one-hot weight at the nearest GLL point in fast mode) and allocates
-// its seismogram.
+// one seismogram per batched wavefield: every station records every
+// source of the ensemble.
 func (rs *rankState) prepareReceiver(rcv *Receiver, opts *Options, dt float64) recvLocal {
 	rl := recvLocal{rcv: rcv, kind: rcv.Kind, elem: rcv.Elem}
 	nsamp := opts.Steps / opts.RecordEvery
-	rl.out = &Seismogram{
-		Name:        rcv.Name,
-		Dt:          dt * float64(opts.RecordEvery),
-		RecordEvery: opts.RecordEvery,
-		X:           make([]float32, 0, nsamp),
-		Y:           make([]float32, 0, nsamp),
-		Z:           make([]float32, 0, nsamp),
+	rl.out = make([]*Seismogram, rs.ns)
+	for s := range rl.out {
+		rl.out[s] = &Seismogram{
+			Name:        rcv.Name,
+			Field:       s,
+			Dt:          dt * float64(opts.RecordEvery),
+			RecordEvery: opts.RecordEvery,
+			X:           make([]float32, 0, nsamp),
+			Y:           make([]float32, 0, nsamp),
+			Z:           make([]float32, 0, nsamp),
+		}
 	}
 	if rcv.NearestPoint {
 		// Snap each reference coordinate to the nearest GLL node (the
@@ -169,8 +176,8 @@ func (rs *rankState) prepareReceiver(rcv *Receiver, opts *Options, dt float64) r
 func (rs *rankState) record(step int) {
 	for i := range rs.recvs {
 		rl := &rs.recvs[i]
-		f := rs.solid[rl.kind]
-		if f == nil {
+		fs := rs.solid[rl.kind]
+		if fs == nil {
 			continue
 		}
 		var pr []int32
@@ -178,34 +185,36 @@ func (rs *rankState) record(step int) {
 			pr = rs.lts.clus.PointRate[rl.kind]
 		}
 		base := rl.elem * mesh.NGLL3
-		ib := f.reg.Ibool[base : base+mesh.NGLL3]
-		var x, y, z float64
-		for p, g := range ib {
-			w := rl.w[p]
-			if w == 0 {
-				continue
-			}
-			var lead float64
-			if pr != nil {
-				if r := int(pr[g]); r > 1 {
-					// The point's state is at time (lastFire+r)*dt after
-					// its corrector; step's nominal sample time trails it.
-					lead = float64(r-1-(step%r)) * rs.dt
+		ib := fs[0].reg.Ibool[base : base+mesh.NGLL3]
+		for s, f := range fs {
+			var x, y, z float64
+			for p, g := range ib {
+				w := rl.w[p]
+				if w == 0 {
+					continue
+				}
+				var lead float64
+				if pr != nil {
+					if r := int(pr[g]); r > 1 {
+						// The point's state is at time (lastFire+r)*dt after
+						// its corrector; step's nominal sample time trails it.
+						lead = float64(r-1-(step%r)) * rs.dt
+					}
+				}
+				if lead == 0 {
+					x += w * float64(f.dx[g])
+					y += w * float64(f.dy[g])
+					z += w * float64(f.dz[g])
+				} else {
+					x += w * (float64(f.dx[g]) - lead*float64(f.vx[g]))
+					y += w * (float64(f.dy[g]) - lead*float64(f.vy[g]))
+					z += w * (float64(f.dz[g]) - lead*float64(f.vz[g]))
 				}
 			}
-			if lead == 0 {
-				x += w * float64(f.dx[g])
-				y += w * float64(f.dy[g])
-				z += w * float64(f.dz[g])
-			} else {
-				x += w * (float64(f.dx[g]) - lead*float64(f.vx[g]))
-				y += w * (float64(f.dy[g]) - lead*float64(f.vy[g]))
-				z += w * (float64(f.dz[g]) - lead*float64(f.vz[g]))
-			}
+			rl.out[s].X = append(rl.out[s].X, float32(x))
+			rl.out[s].Y = append(rl.out[s].Y, float32(y))
+			rl.out[s].Z = append(rl.out[s].Z, float32(z))
 		}
-		rl.out.X = append(rl.out.X, float32(x))
-		rl.out.Y = append(rl.out.Y, float32(y))
-		rl.out.Z = append(rl.out.Z, float32(z))
 	}
 }
 

@@ -62,42 +62,48 @@ func (rs *rankState) predictor() {
 	dt := float32(rs.dt)
 	half := dt / 2
 	halfSq := dt * dt / 2
-	for kind, f := range rs.solid {
-		if f == nil {
+	for kind, fs := range rs.solid {
+		if fs == nil {
 			continue
 		}
 		if pts := rs.ltsPts(kind); pts != nil && !pts.single {
-			rs.solidPredictorLTS(f, pts)
+			rs.solidPredictorLTS(fs, pts)
 			continue
 		}
-		rs.pool.sweepRange(rs.scr, len(f.dx), &rs.updateBusy, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				f.dx[i] += dt*f.vx[i] + halfSq*f.ax[i]
-				f.dy[i] += dt*f.vy[i] + halfSq*f.ay[i]
-				f.dz[i] += dt*f.vz[i] + halfSq*f.az[i]
-				f.vx[i] += half * f.ax[i]
-				f.vy[i] += half * f.ay[i]
-				f.vz[i] += half * f.az[i]
-				f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
+		n := len(fs[0].dx)
+		rs.pool.sweepRange(rs.scr, n, &rs.updateBusy, func(lo, hi int) {
+			for _, f := range fs {
+				for i := lo; i < hi; i++ {
+					f.dx[i] += dt*f.vx[i] + halfSq*f.ax[i]
+					f.dy[i] += dt*f.vy[i] + halfSq*f.ay[i]
+					f.dz[i] += dt*f.vz[i] + halfSq*f.az[i]
+					f.vx[i] += half * f.ax[i]
+					f.vy[i] += half * f.ay[i]
+					f.vz[i] += half * f.az[i]
+					f.ax[i], f.ay[i], f.az[i] = 0, 0, 0
+				}
 			}
 		})
-		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.SolidPredictor*int64(len(f.dx)))
-		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidPredictor*int64(len(f.dx)))
+		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.SolidPredictor*int64(n*len(fs)))
+		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidPredictor*int64(n*len(fs)))
 	}
-	if fl := rs.fluid; fl != nil {
+	if fls := rs.fluid; fls != nil {
 		if pts := rs.ltsPts(int(earthmodel.RegionOuterCore)); pts != nil && !pts.single {
 			rs.fluidPredictorLTS(pts)
 			return
 		}
-		rs.pool.sweepRange(rs.scr, len(fl.chi), &rs.updateBusy, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				fl.chi[i] += dt*fl.chiDot[i] + halfSq*fl.chiDdot[i]
-				fl.chiDot[i] += half * fl.chiDdot[i]
-				fl.chiDdot[i] = 0
+		n := len(fls[0].chi)
+		rs.pool.sweepRange(rs.scr, n, &rs.updateBusy, func(lo, hi int) {
+			for _, fl := range fls {
+				for i := lo; i < hi; i++ {
+					fl.chi[i] += dt*fl.chiDot[i] + halfSq*fl.chiDdot[i]
+					fl.chiDot[i] += half * fl.chiDdot[i]
+					fl.chiDdot[i] = 0
+				}
 			}
 		})
-		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidPredictor*int64(len(fl.chi)))
-		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidPredictor*int64(len(fl.chi)))
+		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidPredictor*int64(n*len(fls)))
+		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidPredictor*int64(n*len(fls)))
 	}
 }
 
@@ -123,7 +129,7 @@ func (rs *rankState) forceStageSerial(step int) {
 		}
 		rs.computeFluidForces(first)
 		rs.addFluidCoupling()
-		fluidHalo := rs.beginAssembleScalar(oc, rs.fluid.chiDdot)
+		fluidHalo := rs.beginAssembleScalarFields(oc, rs.fluidChiDdot)
 		rs.computeFluidForces(second)
 		fluidHalo.finish()
 		if rs.fluidDeferred {
@@ -138,8 +144,8 @@ func (rs *rankState) forceStageSerial(step int) {
 	}
 
 	// --- Solid stage ------------------------------------------------------
-	for kind, f := range rs.solid {
-		if f == nil {
+	for kind, fs := range rs.solid {
+		if fs == nil {
 			continue
 		}
 		sw := rs.sweepsFor(kind)
@@ -147,7 +153,7 @@ func (rs *rankState) forceStageSerial(step int) {
 		if rs.overlap {
 			first = sw.outer
 		}
-		rs.computeSolidForces(f, first)
+		rs.computeSolidForces(fs, first)
 	}
 	rs.addTractionAndSources(step)
 	rs.finishSolidStage()
@@ -179,7 +185,7 @@ func (rs *rankState) forceStagePipelined(step int) {
 		rs.computeFluidForces(rs.sweepsFor(oc).boundary)
 		rs.addFluidCoupling()
 		// (b) post the fluid halo.
-		fluidHalo = rs.beginAssembleScalar(oc, rs.fluid.chiDdot)
+		fluidHalo = rs.beginAssembleScalarFields(oc, rs.fluidChiDdot)
 	} else {
 		rs.nextTag() // keep the exchange sequence aligned
 	}
@@ -187,9 +193,9 @@ func (rs *rankState) forceStagePipelined(step int) {
 	// (c) under the in-flight fluid halo: the solid outer force sweep
 	// (no fluid dependency) and the remaining fluid elements (they
 	// touch neither halo nor coupling points).
-	for kind, f := range rs.solid {
-		if f != nil {
-			rs.computeSolidForces(f, rs.sweepsFor(kind).outer)
+	for kind, fs := range rs.solid {
+		if fs != nil {
+			rs.computeSolidForces(fs, rs.sweepsFor(kind).outer)
 		}
 	}
 	if rs.fluid != nil {
@@ -222,19 +228,22 @@ func (rs *rankState) addFluidCoupling() {
 // the firing points are divided (the rest hold garbage that the next
 // predictor wipes), and the traction shadow is refreshed.
 func (rs *rankState) fluidMassDivision() {
-	fl := rs.fluid
+	fls := rs.fluid
 	var list []int32
 	if pts := rs.ltsPts(int(earthmodel.RegionOuterCore)); pts != nil && !pts.single {
 		list = pts.upTo[rs.lts.level]
 	}
 	if list == nil {
-		rs.pool.sweepRange(rs.scr, len(fl.chiDdot), &rs.updateBusy, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				fl.chiDdot[i] *= fl.massInv[i]
+		n := len(fls[0].chiDdot)
+		rs.pool.sweepRange(rs.scr, n, &rs.updateBusy, func(lo, hi int) {
+			for _, fl := range fls {
+				for i := lo; i < hi; i++ {
+					fl.chiDdot[i] *= fl.massInv[i]
+				}
 			}
 		})
-		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidMassDiv*int64(len(fl.chiDdot)))
-		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidMassDiv*int64(len(fl.chiDdot)))
+		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidMassDiv*int64(n*len(fls)))
+		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidMassDiv*int64(n*len(fls)))
 	} else {
 		rs.divideFluidList(list)
 	}
@@ -263,20 +272,23 @@ func (rs *rankState) fluidMassDivisionRest() {
 	rs.divideFluidList(list)
 }
 
-// divideFluidList applies the inverse mass to a point list.
+// divideFluidList applies the inverse mass to a point list (all
+// batched wavefields).
 func (rs *rankState) divideFluidList(list []int32) {
-	fl := rs.fluid
+	fls := rs.fluid
 	if len(list) == 0 {
 		return
 	}
 	rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
-		for q := lo; q < hi; q++ {
-			i := list[q]
-			fl.chiDdot[i] *= fl.massInv[i]
+		for _, fl := range fls {
+			for q := lo; q < hi; q++ {
+				i := list[q]
+				fl.chiDdot[i] *= fl.massInv[i]
+			}
 		}
 	})
-	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidMassDiv*int64(len(list)))
-	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidMassDiv*int64(len(list)))
+	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidMassDiv*int64(len(list)*len(fls)))
+	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidMassDiv*int64(len(list)*len(fls)))
 }
 
 // addTractionAndSources applies the boundary terms of the solid stage:
@@ -302,9 +314,9 @@ func (rs *rankState) finishSolidStage() {
 	if rs.opts.CombinedSolidHalo {
 		solidHalo = append(solidHalo, rs.beginAssembleSolidCombined())
 	} else {
-		for kind, f := range rs.solid {
-			if f != nil {
-				solidHalo = append(solidHalo, rs.beginAssembleVector(kind, f.ax, f.ay, f.az))
+		for kind, fs := range rs.solid {
+			if fs != nil {
+				solidHalo = append(solidHalo, rs.beginAssembleAccelFields(kind, fs))
 			} else if kind != int(earthmodel.RegionOuterCore) {
 				// A solid region slot this rank does not carry (nil or
 				// empty region): consume the tag so ranks that do carry
@@ -317,9 +329,9 @@ func (rs *rankState) finishSolidStage() {
 	if rs.overlap {
 		// Inner elements touch no halo point: they compute while the
 		// boundary messages are in flight.
-		for kind, f := range rs.solid {
-			if f != nil {
-				rs.computeSolidForces(f, rs.sweepsFor(kind).inner)
+		for kind, fs := range rs.solid {
+			if fs != nil {
+				rs.computeSolidForces(fs, rs.sweepsFor(kind).inner)
 			}
 		}
 	}
@@ -342,64 +354,68 @@ func (rs *rankState) solidUpdate() {
 	if rs.opts.Rotation {
 		twoOmega = float32(2 * rs.opts.RotationRate)
 	}
-	for kind, f := range rs.solid {
-		if f == nil {
+	for kind, fs := range rs.solid {
+		if fs == nil {
 			continue
 		}
 		var list []int32
 		if pts := rs.ltsPts(kind); pts != nil && !pts.single {
 			list = pts.upTo[rs.lts.level]
 		}
-		n := len(f.ax)
+		n := len(fs[0].ax)
 		if list != nil {
 			n = len(list)
 			rs.pool.sweepRange(rs.scr, len(list), &rs.updateBusy, func(lo, hi int) {
-				for q := lo; q < hi; q++ {
-					i := list[q]
-					f.ax[i] *= f.massInv[i]
-					f.ay[i] *= f.massInv[i]
-					f.az[i] *= f.massInv[i]
-					if twoOmega != 0 {
-						f.ax[i] += twoOmega * f.vy[i]
-						f.ay[i] -= twoOmega * f.vx[i]
-					}
-					if f.gOverR != nil {
-						ur := f.dx[i]*f.rhatX[i] + f.dy[i]*f.rhatY[i] + f.dz[i]*f.rhatZ[i]
-						gr := f.gOverR[i]
-						dg := f.dgdr[i]
-						f.ax[i] -= gr*(f.dx[i]-ur*f.rhatX[i]) + dg*ur*f.rhatX[i]
-						f.ay[i] -= gr*(f.dy[i]-ur*f.rhatY[i]) + dg*ur*f.rhatY[i]
-						f.az[i] -= gr*(f.dz[i]-ur*f.rhatZ[i]) + dg*ur*f.rhatZ[i]
+				for _, f := range fs {
+					for q := lo; q < hi; q++ {
+						i := list[q]
+						f.ax[i] *= f.massInv[i]
+						f.ay[i] *= f.massInv[i]
+						f.az[i] *= f.massInv[i]
+						if twoOmega != 0 {
+							f.ax[i] += twoOmega * f.vy[i]
+							f.ay[i] -= twoOmega * f.vx[i]
+						}
+						if f.gOverR != nil {
+							ur := f.dx[i]*f.rhatX[i] + f.dy[i]*f.rhatY[i] + f.dz[i]*f.rhatZ[i]
+							gr := f.gOverR[i]
+							dg := f.dgdr[i]
+							f.ax[i] -= gr*(f.dx[i]-ur*f.rhatX[i]) + dg*ur*f.rhatX[i]
+							f.ay[i] -= gr*(f.dy[i]-ur*f.rhatY[i]) + dg*ur*f.rhatY[i]
+							f.az[i] -= gr*(f.dz[i]-ur*f.rhatZ[i]) + dg*ur*f.rhatZ[i]
+						}
 					}
 				}
 			})
 		} else {
-			rs.pool.sweepRange(rs.scr, len(f.ax), &rs.updateBusy, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					f.ax[i] *= f.massInv[i]
-					f.ay[i] *= f.massInv[i]
-					f.az[i] *= f.massInv[i]
-				}
-				// Coriolis: a -= 2 Omega x v with Omega = (0, 0, omega).
-				// The lumped-mass form is exact pointwise because both the
-				// force and the mass carry the same rho*JacW weights.
-				if twoOmega != 0 {
+			rs.pool.sweepRange(rs.scr, n, &rs.updateBusy, func(lo, hi int) {
+				for _, f := range fs {
 					for i := lo; i < hi; i++ {
-						f.ax[i] += twoOmega * f.vy[i]
-						f.ay[i] -= twoOmega * f.vx[i]
+						f.ax[i] *= f.massInv[i]
+						f.ay[i] *= f.massInv[i]
+						f.az[i] *= f.massInv[i]
 					}
-				}
-				// Background gravity (Cowling-style local term): the
-				// linearized restoring tensor H = (g/r)(I - rhat rhat)
-				// + (dg/dr) rhat rhat applied to the displacement.
-				if f.gOverR != nil {
-					for i := lo; i < hi; i++ {
-						ur := f.dx[i]*f.rhatX[i] + f.dy[i]*f.rhatY[i] + f.dz[i]*f.rhatZ[i]
-						gr := f.gOverR[i]
-						dg := f.dgdr[i]
-						f.ax[i] -= gr*(f.dx[i]-ur*f.rhatX[i]) + dg*ur*f.rhatX[i]
-						f.ay[i] -= gr*(f.dy[i]-ur*f.rhatY[i]) + dg*ur*f.rhatY[i]
-						f.az[i] -= gr*(f.dz[i]-ur*f.rhatZ[i]) + dg*ur*f.rhatZ[i]
+					// Coriolis: a -= 2 Omega x v with Omega = (0, 0, omega).
+					// The lumped-mass form is exact pointwise because both the
+					// force and the mass carry the same rho*JacW weights.
+					if twoOmega != 0 {
+						for i := lo; i < hi; i++ {
+							f.ax[i] += twoOmega * f.vy[i]
+							f.ay[i] -= twoOmega * f.vx[i]
+						}
+					}
+					// Background gravity (Cowling-style local term): the
+					// linearized restoring tensor H = (g/r)(I - rhat rhat)
+					// + (dg/dr) rhat rhat applied to the displacement.
+					if f.gOverR != nil {
+						for i := lo; i < hi; i++ {
+							ur := f.dx[i]*f.rhatX[i] + f.dy[i]*f.rhatY[i] + f.dz[i]*f.rhatZ[i]
+							gr := f.gOverR[i]
+							dg := f.dgdr[i]
+							f.ax[i] -= gr*(f.dx[i]-ur*f.rhatX[i]) + dg*ur*f.rhatX[i]
+							f.ay[i] -= gr*(f.dy[i]-ur*f.rhatY[i]) + dg*ur*f.rhatY[i]
+							f.az[i] -= gr*(f.dz[i]-ur*f.rhatZ[i]) + dg*ur*f.rhatZ[i]
+						}
 					}
 				}
 			})
@@ -410,28 +426,29 @@ func (rs *rankState) solidUpdate() {
 			flops += rs.fc.Coriolis
 			bytes += rs.bc.Coriolis
 		}
-		if f.gOverR != nil {
+		if fs[0].gOverR != nil {
 			flops += rs.fc.Gravity
 			bytes += rs.bc.Gravity
 		}
-		rs.prof.AddFlops(perf.PhaseUpdate, flops*int64(n))
-		rs.prof.AddBytes(perf.PhaseUpdate, bytes*int64(n))
+		rs.prof.AddFlops(perf.PhaseUpdate, flops*int64(n*len(fs)))
+		rs.prof.AddBytes(perf.PhaseUpdate, bytes*int64(n*len(fs)))
 	}
 	// Ocean load: rescale the normal component of the free-surface
 	// acceleration by M/(M+Mw). Few points; inline.
 	if rs.oceanFactor != nil {
 		rs.prof.Time(perf.PhaseUpdate, func() {
-			cm := rs.solid[earthmodel.RegionCrustMantle]
 			sl := &rs.local.Surface
-			for i, pt := range sl.Pts {
-				an := cm.ax[pt]*sl.Nx[i] + cm.ay[pt]*sl.Ny[i] + cm.az[pt]*sl.Nz[i]
-				scale := an * (1 - rs.oceanFactor[i])
-				cm.ax[pt] -= scale * sl.Nx[i]
-				cm.ay[pt] -= scale * sl.Ny[i]
-				cm.az[pt] -= scale * sl.Nz[i]
+			for _, cm := range rs.solid[earthmodel.RegionCrustMantle] {
+				for i, pt := range sl.Pts {
+					an := cm.ax[pt]*sl.Nx[i] + cm.ay[pt]*sl.Ny[i] + cm.az[pt]*sl.Nz[i]
+					scale := an * (1 - rs.oceanFactor[i])
+					cm.ax[pt] -= scale * sl.Nx[i]
+					cm.ay[pt] -= scale * sl.Ny[i]
+					cm.az[pt] -= scale * sl.Nz[i]
+				}
 			}
-			rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.OceanPoint*int64(len(sl.Pts)))
-			rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.OceanPoint*int64(len(sl.Pts)))
+			rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.OceanPoint*int64(len(sl.Pts)*rs.ns))
+			rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.OceanPoint*int64(len(sl.Pts)*rs.ns))
 		})
 	}
 }
@@ -441,23 +458,26 @@ func (rs *rankState) solidUpdate() {
 // (fluidDeferred, see finishSolidStage).
 func (rs *rankState) corrector() {
 	half := float32(rs.dt) / 2
-	for kind, f := range rs.solid {
-		if f == nil {
+	for kind, fs := range rs.solid {
+		if fs == nil {
 			continue
 		}
 		if pts := rs.ltsPts(kind); pts != nil && !pts.single {
-			rs.solidCorrectorLTS(f, pts)
+			rs.solidCorrectorLTS(fs, pts)
 			continue
 		}
-		rs.pool.sweepRange(rs.scr, len(f.vx), &rs.updateBusy, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				f.vx[i] += half * f.ax[i]
-				f.vy[i] += half * f.ay[i]
-				f.vz[i] += half * f.az[i]
+		n := len(fs[0].vx)
+		rs.pool.sweepRange(rs.scr, n, &rs.updateBusy, func(lo, hi int) {
+			for _, f := range fs {
+				for i := lo; i < hi; i++ {
+					f.vx[i] += half * f.ax[i]
+					f.vy[i] += half * f.ay[i]
+					f.vz[i] += half * f.az[i]
+				}
 			}
 		})
-		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.SolidCorrector*int64(len(f.vx)))
-		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidCorrector*int64(len(f.vx)))
+		rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.SolidCorrector*int64(n*len(fs)))
+		rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.SolidCorrector*int64(n*len(fs)))
 	}
 	if !rs.fluidDeferred {
 		rs.fluidCorrector()
@@ -471,8 +491,8 @@ func (rs *rankState) corrector() {
 // and the per-point arithmetic is identical, so moving it earlier does
 // not change the values.
 func (rs *rankState) fluidCorrector() {
-	fl := rs.fluid
-	if fl == nil {
+	fls := rs.fluid
+	if fls == nil {
 		return
 	}
 	if pts := rs.ltsPts(int(earthmodel.RegionOuterCore)); pts != nil && !pts.single {
@@ -480,11 +500,14 @@ func (rs *rankState) fluidCorrector() {
 		return
 	}
 	half := float32(rs.dt) / 2
-	rs.pool.sweepRange(rs.scr, len(fl.chiDot), &rs.updateBusy, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			fl.chiDot[i] += half * fl.chiDdot[i]
+	n := len(fls[0].chiDot)
+	rs.pool.sweepRange(rs.scr, n, &rs.updateBusy, func(lo, hi int) {
+		for _, fl := range fls {
+			for i := lo; i < hi; i++ {
+				fl.chiDot[i] += half * fl.chiDdot[i]
+			}
 		}
 	})
-	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidCorrector*int64(len(fl.chiDot)))
-	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidCorrector*int64(len(fl.chiDot)))
+	rs.prof.AddFlops(perf.PhaseUpdate, rs.fc.FluidCorrector*int64(n*len(fls)))
+	rs.prof.AddBytes(perf.PhaseUpdate, rs.bc.FluidCorrector*int64(n*len(fls)))
 }
