@@ -1,0 +1,226 @@
+// Command specfemvet is the repository's custom vet tool: it runs the
+// internal/analysis suite (haloreq, flopaudit, determinism, poolsafety,
+// phasepair — see DESIGN.md#invariants-as-analyzers) over type-checked
+// packages so CI fails on an invariant-violating pattern instead of a
+// flaky test.
+//
+// It speaks the go command's -vettool protocol (the same contract
+// x/tools' unitchecker implements, rebuilt here on the standard library
+// because the build environment is hermetic):
+//
+//	go build -o specfemvet ./cmd/specfemvet
+//	go vet -vettool=$PWD/specfemvet ./...
+//
+// Under -vettool the go command invokes the binary once per package
+// with a JSON config file argument (ending in .cfg) that lists the
+// package's sources and the export data of its dependencies; -V=full
+// and -flags are the protocol's identification and flag-discovery
+// handshakes. Invoked any other way, specfemvet drives itself: it
+// re-executes `go vet -vettool=<self> <args>` so `specfemvet ./...`
+// works directly.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"specglobe/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			printVersion()
+			return
+		}
+	}
+	if len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags") {
+		// Flag discovery: no tool-specific flags.
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	os.Exit(drive(args))
+}
+
+// printVersion implements the -V=full handshake: the go command uses
+// the line as the tool's cache fingerprint, so it must change when the
+// binary does — hash the executable, the way unitchecker does.
+func printVersion() {
+	prog := os.Args[0]
+	h := sha256.New()
+	if f, err := os.Open(prog); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel specfemvet buildID=%02x\n", prog, string(h.Sum(nil)[:12]))
+}
+
+// drive re-executes the go command against this binary, making plain
+// `specfemvet ./...` equivalent to `go vet -vettool=specfemvet ./...`.
+func drive(args []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specfemvet: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "specfemvet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON the go command writes for each analyzed
+// package (the unitchecker.Config contract).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runUnit analyzes one package from a -vettool config file and returns
+// the process exit code: 0 clean, 1 tool error, 2 diagnostics.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specfemvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "specfemvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The analyzers export no cross-package facts, but the protocol
+	// requires the facts file to exist for downstream packages.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "specfemvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies resolve through the export data the go command
+	// already compiled (PackageFile), keyed by canonical package path
+	// (ImportMap translates source-level import paths).
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		path := importPath
+		if p, ok := cfg.ImportMap[importPath]; ok {
+			path = p
+		}
+		return compImp.Import(path)
+	})
+
+	info := analysis.NewInfo()
+	tconf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: strings.TrimSuffix(cfg.GoVersion, "."),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "specfemvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	// Analyze the non-test sources only: the [pkg.test] variants reuse
+	// the same files and would double-report, and the invariants are
+	// production-code contracts.
+	var checkFiles []*ast.File
+	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		checkFiles = append(checkFiles, f)
+	}
+	pkg := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: checkFiles,
+		Types: tpkg,
+		Info:  info,
+	}
+	diags, err := analysis.Run(pkg, analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specfemvet: %v\n", err)
+		return 1
+	}
+	writeVetx()
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s\n", d)
+		}
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,260 @@
+// Package analysis is specfemvet's analyzer suite: custom static
+// checks that enforce the solver invariants this repository's
+// correctness rests on — halo request pairing (PR 1), bit-identity
+// hygiene of the worker-pool and mesh layers (PR 2/PR 8), and the
+// exhaustive flop/byte accounting PR 4 audited by hand. Each invariant
+// is encoded as one Analyzer so CI fails on the *pattern* instead of
+// waiting for the eventual flaky test. See DESIGN.md#invariants-as-analyzers.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API (Analyzer, Pass, positional diagnostics, testdata fixtures with
+// `// want` expectations) but is implemented on the standard library
+// alone: the build environment is hermetic, so the x/tools dependency
+// is substituted by this ~small equivalent. Swapping the real module in
+// later is a mechanical change confined to this package and
+// cmd/specfemvet.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. The shape mirrors
+// x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name is the analyzer's identifier, reported with each diagnostic.
+	Name string
+	// Doc describes the invariant and MUST name the DESIGN.md anchor
+	// documenting it (enforced by scripts/docscheck.sh and the meta
+	// test).
+	Doc string
+	// Pragma is the suppression pragma kind: a comment
+	// `//specfem:<Pragma> <reason>` on the flagged line, the line
+	// above, or in the enclosing declaration's doc comment silences the
+	// analyzer there. The reason is mandatory; a bare pragma is itself
+	// a diagnostic.
+	Pragma string
+	// Run reports the analyzer's findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Package is one loaded, type-checked package — the unit an analyzer
+// pass runs over.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only; see Loader
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// pragma is one parsed //specfem:<kind> comment.
+type pragma struct {
+	kind   string
+	reason string
+	pos    token.Position
+}
+
+var pragmaRE = regexp.MustCompile(`^//specfem:([a-z]+)\s*(.*)$`)
+
+// filePragmas extracts every //specfem: pragma of a file.
+func filePragmas(fset *token.FileSet, f *ast.File) []pragma {
+	var out []pragma
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := pragmaRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			out = append(out, pragma{
+				kind:   m[1],
+				reason: strings.TrimSpace(m[2]),
+				pos:    fset.Position(c.Pos()),
+			})
+		}
+	}
+	return out
+}
+
+// suppressions indexes, per file and pragma kind, the line ranges a
+// reasoned pragma covers: its own line and the next (pragma above the
+// statement or trailing it), or the whole declaration when the pragma
+// sits in a doc comment.
+type suppressions struct {
+	// cover[file][kind] is a set of covered lines.
+	cover map[string]map[string]map[int]bool
+	// bare are pragmas with an empty reason, reported by the analyzer
+	// owning the kind.
+	bare []pragma
+}
+
+func buildSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{cover: map[string]map[string]map[int]bool{}}
+	add := func(file, kind string, from, to int) {
+		byKind := s.cover[file]
+		if byKind == nil {
+			byKind = map[string]map[int]bool{}
+			s.cover[file] = byKind
+		}
+		lines := byKind[kind]
+		if lines == nil {
+			lines = map[int]bool{}
+			byKind[kind] = lines
+		}
+		for l := from; l <= to; l++ {
+			lines[l] = true
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, pr := range filePragmas(pkg.Fset, f) {
+			if pr.reason == "" {
+				s.bare = append(s.bare, pr)
+				continue
+			}
+			add(pr.pos.Filename, pr.kind, pr.pos.Line, pr.pos.Line+1)
+		}
+		// Doc-comment pragmas cover their whole declaration.
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				m := pragmaRE.FindStringSubmatch(c.Text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					continue
+				}
+				from := pkg.Fset.Position(decl.Pos()).Line
+				to := pkg.Fset.Position(decl.End()).Line
+				add(pkg.Fset.Position(c.Pos()).Filename, m[1], from, to)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppressed(kind string, pos token.Position) bool {
+	byKind := s.cover[pos.Filename]
+	if byKind == nil {
+		return false
+	}
+	return byKind[kind][pos.Line]
+}
+
+// Run executes the analyzers over one package and returns the surviving
+// diagnostics: suppressed findings are dropped, bare (reason-less)
+// pragmas of each analyzer's kind are added, and duplicates (the same
+// position and message reached through two call contexts) collapse.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := buildSuppressions(pkg)
+	var out []Diagnostic
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			if sup.suppressed(a.Pragma, d.Pos) {
+				continue
+			}
+			key := d.Pos.String() + "\x00" + d.Analyzer + "\x00" + d.Message
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, d)
+		}
+		// A bare pragma of this analyzer's kind is a finding in its own
+		// right (and can never suppress itself).
+		for _, pr := range sup.bare {
+			if pr.kind != a.Pragma {
+				continue
+			}
+			key := pr.pos.String() + "\x00" + a.Name + "\x00bare"
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Diagnostic{
+				Pos: pr.pos,
+				Message: fmt.Sprintf(
+					"//specfem:%s pragma requires a non-empty reason", pr.kind),
+				Analyzer: a.Name,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// All returns the registered analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HaloReq,
+		FlopAudit,
+		Determinism,
+		PoolSafety,
+		PhasePair,
+	}
+}

@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools' analysistest: each fixture
+// package under testdata/src carries `// want "regexp"` comments on the
+// lines where diagnostics are expected (several regexps on one line for
+// several diagnostics), and a run must produce exactly the expected
+// set — nothing missing, nothing extra.
+
+var wantRE = regexp.MustCompile(`^(?://|/\*)\s*want\s+(.*?)\s*(?:\*/)?$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants extracts the expectations of a loaded package.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quotes := quotedRE.FindAllString(m[1], -1)
+				if len(quotes) == 0 {
+					t.Fatalf("%s: want comment with no quoted regexp", pos)
+				}
+				for _, q := range quotes {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runFixtures checks one analyzer against fixture packages: every
+// diagnostic must match a want expectation on its line, and every
+// expectation must be hit.
+func runFixtures(t *testing.T, a *Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := NewLoader(filepath.Join("testdata", "src"))
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		exps := collectWants(t, pkg)
+		diags, err := Run(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		for _, d := range diags {
+			found := false
+			for _, e := range exps {
+				if e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+					e.matched = true
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+		}
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+			}
+		}
+	}
+}
+
+func TestHaloReqFixtures(t *testing.T) {
+	runFixtures(t, HaloReq, "haloreq/bad", "haloreq/good")
+}
+
+func TestFlopAuditFixtures(t *testing.T) {
+	runFixtures(t, FlopAudit,
+		"flopaudit/bad/solver", "flopaudit/bad/simd",
+		"flopaudit/good/solver", "flopaudit/good/simd")
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	runFixtures(t, Determinism,
+		"determinism/bad/mesh", "determinism/good/mesh", "determinism/good/other")
+}
+
+func TestPoolSafetyFixtures(t *testing.T) {
+	runFixtures(t, PoolSafety, "poolsafety/bad/solver", "poolsafety/good/solver")
+}
+
+func TestPhasePairFixtures(t *testing.T) {
+	runFixtures(t, PhasePair, "phasepair/bad", "phasepair/good")
+}
+
+// fixturePackages lists the fixture package import paths under
+// testdata/src/<root> (directories holding at least one .go file).
+func fixturePackages(t *testing.T, root string) []string {
+	t.Helper()
+	base := filepath.Join("testdata", "src")
+	var out []string
+	err := filepath.WalkDir(filepath.Join(base, root), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(base, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		p := filepath.ToSlash(rel)
+		for _, have := range out {
+			if have == p {
+				return nil
+			}
+		}
+		out = append(out, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking fixtures of %s: %v", root, err)
+	}
+	return out
+}
+
+// TestAnalyzerContract is the meta test: every registered analyzer has
+// a unique name and pragma kind, a Doc naming an anchor that exists in
+// DESIGN.md, at least one positive (bad) fixture that fires and at
+// least one negative (good) fixture tree that stays silent.
+func TestAnalyzerContract(t *testing.T) {
+	anchors := designAnchors(t)
+	names := map[string]bool{}
+	pragmas := map[string]bool{}
+	docAnchorRE := regexp.MustCompile(`DESIGN\.md#([a-z0-9-]+)`)
+
+	for _, a := range All() {
+		if a.Name == "" || names[a.Name] {
+			t.Errorf("analyzer name %q missing or duplicated", a.Name)
+		}
+		names[a.Name] = true
+		if a.Pragma == "" || pragmas[a.Pragma] {
+			t.Errorf("%s: pragma kind %q missing or duplicated", a.Name, a.Pragma)
+		}
+		pragmas[a.Pragma] = true
+
+		m := docAnchorRE.FindStringSubmatch(a.Doc)
+		if m == nil {
+			t.Errorf("%s: Doc does not name a DESIGN.md anchor", a.Name)
+		} else if !anchors[m[1]] {
+			t.Errorf("%s: Doc anchor %q not found among DESIGN.md headings", a.Name, m[1])
+		}
+
+		loader := NewLoader(filepath.Join("testdata", "src"))
+		for _, polarity := range []string{"bad", "good"} {
+			pkgs := fixturePackages(t, a.Name+"/"+polarity)
+			if len(pkgs) == 0 {
+				t.Errorf("%s: no %s fixtures under testdata/src/%s/%s", a.Name, polarity, a.Name, polarity)
+				continue
+			}
+			total := 0
+			for _, path := range pkgs {
+				pkg, err := loader.Load(path)
+				if err != nil {
+					t.Fatalf("%s: loading %s: %v", a.Name, path, err)
+				}
+				diags, err := Run(pkg, []*Analyzer{a})
+				if err != nil {
+					t.Fatalf("%s: running on %s: %v", a.Name, path, err)
+				}
+				total += len(diags)
+			}
+			if polarity == "bad" && total == 0 {
+				t.Errorf("%s: bad fixtures produced no diagnostics", a.Name)
+			}
+			if polarity == "good" && total != 0 {
+				t.Errorf("%s: good fixtures produced %d diagnostics, want 0", a.Name, total)
+			}
+		}
+	}
+}
+
+// designAnchors returns the GitHub-style slugs of every DESIGN.md
+// heading.
+func designAnchors(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	out := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		title := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		out[slugify(title)] = true
+	}
+	return out
+}
+
+// slugify approximates GitHub's heading-anchor rule: lowercase, spaces
+// to dashes, everything but letters, digits and dashes dropped.
+func slugify(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}
+
+// TestBarePragmaRejected pins the framework rule directly: a reasoned
+// pragma suppresses, a bare pragma is itself a diagnostic and cannot
+// suppress anything.
+func TestBarePragmaRejected(t *testing.T) {
+	loader := NewLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.Load("haloreq/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{HaloReq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "requires a non-empty reason") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bare //specfem:nohaloreq pragma was not reported; diagnostics: %v", diags)
+	}
+}
+
+// TestDiagnosticFormat pins the vet-style rendering cmd/specfemvet
+// prints: file:line:col, message, analyzer name.
+func TestDiagnosticFormat(t *testing.T) {
+	loader := NewLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.Load("haloreq/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{HaloReq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics from haloreq/bad")
+	}
+	got := diags[0].String()
+	wantSuffix := "(haloreq)"
+	if !strings.HasSuffix(got, wantSuffix) {
+		t.Errorf("diagnostic %q does not end with %q", got, wantSuffix)
+	}
+	if !strings.Contains(got, fmt.Sprintf("bad.go:%d:", diags[0].Pos.Line)) {
+		t.Errorf("diagnostic %q does not carry file:line position", got)
+	}
+}

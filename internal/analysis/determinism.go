@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism is the mechanical half of the PR 2/PR 8 bit-identity
+// guarantee: every rank must execute an identical schedule, so in the
+// solver, mesh, simd and meshfem packages
+//
+//   - ranging over a map may not feed floating-point arithmetic,
+//     formatted output, channel sends, or message posts — Go randomizes
+//     map iteration order, so any order-sensitive consumer diverges
+//     between runs (collect the keys and sort them first);
+//   - wall-clock reads (time.Now/Since) and math/rand have no business
+//     in mesh construction or the stepped solver loop — timing belongs
+//     to the perf layer and the bench harness.
+//
+// Intentional uses (the worker pool's busy-time attribution, which
+// feeds reporting but never a wavefield) carry //specfem:nodeterminism
+// with a reason.
+var Determinism = &Analyzer{
+	Name:   "determinism",
+	Pragma: "nodeterminism",
+	Doc: "check bit-identity hygiene in solver/mesh/simd/meshfem: no " +
+		"map-order-dependent accumulation or output, no wall clock or " +
+		"math/rand (PR 2/PR 8); see DESIGN.md#invariants-as-analyzers",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !pass.scopedTo("solver", "mesh", "simd", "meshfem") {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if t := info.TypeOf(x.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRangeBody(pass, x)
+					}
+				}
+			case *ast.Ident:
+				checkNondetUse(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeBody flags order-sensitive work inside a map-range body.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op.String() {
+			case "+", "-", "*", "/":
+				if isFloat(info.TypeOf(x.X)) || isFloat(info.TypeOf(x.Y)) {
+					pass.Reportf(rng.For,
+						"map iteration feeds floating-point arithmetic: map order is randomized, so the accumulated result is not bit-stable — iterate sorted keys instead")
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			switch x.Tok.String() {
+			case "+=", "-=", "*=", "/=":
+				if len(x.Lhs) == 1 && isFloat(info.TypeOf(x.Lhs[0])) {
+					pass.Reportf(rng.For,
+						"map iteration feeds floating-point accumulation: map order is randomized, so the result is not bit-stable — iterate sorted keys instead")
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(rng.For,
+				"map iteration drives a channel send: delivery order is randomized across runs — iterate sorted keys instead")
+			return false
+		case *ast.CallExpr:
+			if callee := calleeOf(info, x); callee != nil {
+				if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+					pass.Reportf(rng.For,
+						"map iteration drives fmt output: line order is randomized across runs — iterate sorted keys instead")
+					return false
+				}
+				if funcFromPkg(callee, "mpi") && (callee.Name() == "Isend" || callee.Name() == "Send") {
+					pass.Reportf(rng.For,
+						"map iteration posts mpi sends: message order is randomized across runs — iterate sorted keys instead")
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkNondetUse flags wall-clock and PRNG references.
+func checkNondetUse(pass *Pass, id *ast.Ident) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if f, ok := obj.(*types.Func); ok && (f.Name() == "Now" || f.Name() == "Since") {
+			pass.Reportf(id.Pos(),
+				"wall-clock read (time.%s) in a bit-identity package: timing belongs to the perf layer; annotate //specfem:nodeterminism <reason> if this never feeds solver state", f.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(id.Pos(),
+			"math/rand use in a bit-identity package: randomness breaks run-to-run reproducibility; annotate //specfem:nodeterminism <reason> if this never feeds solver state")
+	}
+}

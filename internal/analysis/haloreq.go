@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HaloReq enforces the PR 1 halo-exchange invariant: every request
+// returned by a non-blocking mpi Irecv must reach completion — Wait,
+// Test, or Waitall — or escape to a caller who will complete it. A
+// request that is dropped on some path is a deadlock at scale (the peer
+// eventually blocks in its own Wait) and silently corrupts the
+// hidden-vs-exposed overlap accounting, because the virtual transfer
+// cost is only charged at completion.
+var HaloReq = &Analyzer{
+	Name:   "haloreq",
+	Pragma: "nohaloreq",
+	Doc: "check that every mpi.Irecv request reaches Wait/Test/Waitall " +
+		"or escapes to the caller (halo pairing, PR 1); see " +
+		"DESIGN.md#invariants-as-analyzers",
+	Run: runHaloReq,
+}
+
+func runHaloReq(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkHaloReqs(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkHaloReqs analyzes one function body (closures included — a
+// request created in a closure is the closure's responsibility, but
+// uses anywhere in the enclosing declaration count, since closures and
+// their host share the variables).
+func checkHaloReqs(pass *Pass, fd *ast.FuncDecl) {
+	parents := buildParents(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(pass.TypesInfo, call)
+		if callee == nil || callee.Name() != "Irecv" || !funcFromPkg(callee, "mpi") {
+			return true
+		}
+		switch parent := parentSkipParens(parents, call).(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(),
+				"result of Irecv is discarded: the request never reaches Wait/Test/Waitall (leaked halo receive)")
+		case *ast.AssignStmt:
+			obj := assignTarget(pass.TypesInfo, parent, call)
+			if obj == blankTarget {
+				pass.Reportf(call.Pos(),
+					"result of Irecv is assigned to _: the request never reaches Wait/Test/Waitall (leaked halo receive)")
+				return true
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return true // non-ident destination: escapes, assumed completed elsewhere
+			}
+			if !requestCompleted(pass.TypesInfo, fd, parents, v) {
+				pass.Reportf(call.Pos(),
+					"request %s from Irecv never reaches Wait, Test, or Waitall in this function and does not escape", v.Name())
+			}
+		default:
+			// Direct use as an argument, return value, composite-literal
+			// element, channel send, ...: the request escapes into a
+			// structure whose owner completes it.
+		}
+		return true
+	})
+}
+
+// blankTarget marks assignment to the blank identifier.
+var blankTarget = types.Object(types.NewLabel(0, nil, "_blank"))
+
+// assignTarget finds the object the call's value lands in, blankTarget
+// for _, or nil when the destination is not a plain identifier.
+func assignTarget(info *types.Info, as *ast.AssignStmt, call *ast.CallExpr) types.Object {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil // multi-value form; Irecv is single-valued, cannot occur
+	}
+	for i, rhs := range as.Rhs {
+		if unparen(rhs) != call {
+			continue
+		}
+		id, ok := unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if id.Name == "_" {
+			return blankTarget
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// requestCompleted reports whether the request variable (or any local
+// alias of it) has at least one completing use in the declaration:
+// a .Wait/.Test call or method value, use as a call argument (Waitall,
+// append into a pending slice), storage into a structure, a return, or
+// a channel send. This is a may-analysis, not a control-flow proof: a
+// request completed only on some branches still counts. The value of
+// the check is the common failure shape — a posted receive whose
+// handle no code path ever touches again.
+func requestCompleted(info *types.Info, fd *ast.FuncDecl, parents map[ast.Node]ast.Node, v *types.Var) bool {
+	group := map[types.Object]bool{v: true}
+	for {
+		completed, grew := scanRequestUses(info, fd, parents, group)
+		if completed {
+			return true
+		}
+		if !grew {
+			return false
+		}
+	}
+}
+
+func scanRequestUses(info *types.Info, fd *ast.FuncDecl, parents map[ast.Node]ast.Node, group map[types.Object]bool) (completed, grew bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if completed {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !group[obj] {
+			return true
+		}
+		switch parent := parentSkipParens(parents, id).(type) {
+		case *ast.SelectorExpr:
+			if parent.X == id && (parent.Sel.Name == "Wait" || parent.Sel.Name == "Test") {
+				completed = true
+			}
+		case *ast.CallExpr:
+			for _, arg := range parent.Args {
+				if unparen(arg) == id {
+					completed = true // Waitall(reqs), append(pending, req), helper(req)
+				}
+			}
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt, *ast.UnaryExpr:
+			completed = true // escapes to the caller / a structure
+		case *ast.IndexExpr:
+			if parent.Index == id {
+				return true
+			}
+			completed = true // reqs[i] store or read-through: escapes
+		case *ast.AssignStmt:
+			// On the right-hand side: the request flows into another
+			// variable; track it too. On the left: overwrite, not a use.
+			for i, rhs := range parent.Rhs {
+				if unparen(rhs) != id || len(parent.Lhs) != len(parent.Rhs) {
+					continue
+				}
+				lhs := unparen(parent.Lhs[i])
+				lid, ok := lhs.(*ast.Ident)
+				if !ok {
+					completed = true // stored into a field/slot: escapes
+					continue
+				}
+				var dst types.Object
+				if dst = info.Defs[lid]; dst == nil {
+					dst = info.Uses[lid]
+				}
+				if dst != nil && !group[dst] {
+					group[dst] = true
+					grew = true
+				}
+			}
+		}
+		return true
+	})
+	return completed, grew
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages from GOPATH-style source
+// roots: an import path P resolves to <root>/P/*.go. It backs the
+// fixture tests (root = testdata/src) — the production vettool path in
+// cmd/specfemvet instead receives compiled export data from the go
+// command and does not use this loader. Imports not found under any
+// root fall back to the standard library via the source importer.
+type Loader struct {
+	Fset  *token.FileSet
+	roots []string
+
+	pkgs     map[string]*Package
+	imported map[string]*types.Package
+	loading  map[string]bool
+	std      types.Importer
+}
+
+// NewLoader returns a loader over the given source roots.
+func NewLoader(roots ...string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:     fset,
+		roots:    roots,
+		pkgs:     map[string]*Package{},
+		imported: map[string]*types.Package{},
+		loading:  map[string]bool{},
+		std:      importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// dirFor locates the directory holding import path, or "".
+func (l *Loader) dirFor(path string) string {
+	for _, r := range l.roots {
+		dir := filepath.Join(r, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			if ents, err := os.ReadDir(dir); err == nil {
+				for _, e := range ents {
+					if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+						return dir
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer over the loader's roots.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.imported[path]; ok {
+		return p, nil
+	}
+	if l.dirFor(path) == "" {
+		return l.std.Import(path)
+	}
+	pkg, err := l.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// Load parses and type-checks the package at import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("package %q not found under %v", path, l.roots)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	p := &Package{Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	l.imported[path] = tpkg
+	return p, nil
+}
+
+// NewInfo allocates the full set of type-checker fact maps the
+// analyzers consume. Exported for cmd/specfemvet, whose unitchecker
+// mode type-checks from the go command's compiled export data instead
+// of this loader.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,32 @@
+// Package mesh is the determinism positive fixture: map-order-
+// dependent work and nondeterministic sources in a bit-identity
+// package.
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func accumulate(w map[int]float64) float64 {
+	total := 0.0
+	for _, v := range w { // want "map iteration feeds floating-point accumulation"
+		total += v
+	}
+	return total
+}
+
+func report(m map[int]int) {
+	for k := range m { // want "map iteration drives fmt output"
+		fmt.Printf("%d\n", k)
+	}
+}
+
+func stamp() time.Time {
+	return time.Now() // want "wall-clock read"
+}
+
+func jitter() float64 {
+	return rand.Float64() // want "math/rand use"
+}

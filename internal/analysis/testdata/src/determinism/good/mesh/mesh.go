@@ -1,0 +1,34 @@
+// Package mesh is the determinism negative fixture: the deterministic
+// versions of the flagged patterns, plus a reasoned pragma.
+package mesh
+
+import "time"
+
+func accumulate(w map[int]float64) float64 {
+	keys := make([]int, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	insertionSort(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += w[k]
+	}
+	return total
+}
+
+func insertionSort(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// elapsed measures pool busy time for reporting.
+//
+//specfem:nodeterminism busy-time attribution only: feeds reporting, never mesh or solver state
+func elapsed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

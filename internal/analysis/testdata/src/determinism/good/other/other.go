@@ -1,0 +1,8 @@
+// Package other sits outside the determinism scope (not solver, mesh,
+// simd, or meshfem): wall-clock reads are the bench harness's business.
+package other
+
+import "time"
+
+// Stamp reads the wall clock; allowed outside bit-identity packages.
+func Stamp() time.Time { return time.Now() }

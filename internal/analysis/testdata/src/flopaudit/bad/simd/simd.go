@@ -1,0 +1,18 @@
+// Package simd is the flopaudit positive fixture for the exported-
+// contract rule: an exported kernel is the accounting surface, but an
+// unexported float-loop helper that no exported kernel reaches is
+// unaccounted.
+package simd
+
+// Scale is an exported kernel: its solver call sites charge the model.
+func Scale(dst, src []float32, a float32) {
+	for i := range dst {
+		dst[i] = a * src[i]
+	}
+}
+
+func orphan(dst []float32) { // want "orphan has floating-point loops but is not reached by perf flop/byte accounting"
+	for i := range dst {
+		dst[i] *= 0.5
+	}
+}

@@ -1,0 +1,17 @@
+// Package solver is the flopaudit positive fixture: a float-loop
+// kernel with no accounting root anywhere in the package.
+package solver
+
+func axpy(y, x []float32, a float32) { // want "axpy has floating-point loops but is not reached by perf flop/byte accounting"
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+func norm(x []float64) float64 { // want "norm has floating-point loops but is not reached by perf flop/byte accounting"
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}

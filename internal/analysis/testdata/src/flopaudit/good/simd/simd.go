@@ -1,0 +1,14 @@
+// Package simd is the flopaudit negative fixture: exported kernels and
+// the unexported helpers they reach are the accounted contract surface.
+package simd
+
+// Mul4 is an exported kernel; its call sites charge the model.
+func Mul4(dst, a, b []float32) {
+	mulChunk(dst, a, b)
+}
+
+func mulChunk(dst, a, b []float32) {
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}

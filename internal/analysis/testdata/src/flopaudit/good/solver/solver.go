@@ -1,0 +1,34 @@
+// Package solver is the flopaudit negative fixture: the accounted
+// caller covers its chunk helpers, and a reasoned pragma covers
+// intentional setup work.
+package solver
+
+import "perf"
+
+const flopsPerPoint = 2
+
+type rank struct {
+	prof *perf.Profiler
+}
+
+func (r *rank) step(y, x []float32, a float32) {
+	axpyChunk(y, x, a)
+	r.prof.AddFlops(perf.PhaseForces, int64(len(x))*flopsPerPoint)
+	r.prof.AddBytes(perf.PhaseForces, int64(len(x))*12)
+}
+
+// axpyChunk is covered through its accounted caller.
+func axpyChunk(y, x []float32, a float32) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// setup precomputes coefficient tables before stepping starts.
+//
+//specfem:noaccount one-time setup outside the stepped loop; the model counts kernel work only
+func setup(w []float64) {
+	for i := range w {
+		w[i] = w[i] * 0.5
+	}
+}

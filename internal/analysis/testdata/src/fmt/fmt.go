@@ -1,0 +1,9 @@
+// Package fmt is a fixture double shadowing the standard library so
+// the determinism fixtures stay hermetic under the GOPATH-style loader.
+package fmt
+
+// Printf formats and prints.
+func Printf(format string, args ...any) {}
+
+// Errorf formats an error.
+func Errorf(format string, args ...any) error { return nil }

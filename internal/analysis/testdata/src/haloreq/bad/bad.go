@@ -1,0 +1,30 @@
+// Package bad holds the haloreq positive fixtures: leaked halo
+// receives the analyzer must flag.
+package bad
+
+import "mpi"
+
+func discarded(c *mpi.Comm) {
+	c.Irecv(0, 1) // want "result of Irecv is discarded"
+}
+
+func blanked(c *mpi.Comm) {
+	_ = c.Irecv(0, 1) // want "result of Irecv is assigned to _"
+}
+
+func leaked(c *mpi.Comm) {
+	req := c.Irecv(0, 1) // want "request req from Irecv never reaches Wait, Test, or Waitall"
+	_ = req
+}
+
+func aliasLeaked(c *mpi.Comm) {
+	req := c.Irecv(0, 1) // want "request req from Irecv never reaches Wait, Test, or Waitall"
+	r2 := req
+	_ = r2
+}
+
+func barePragma(c *mpi.Comm) {
+	/* want "pragma requires a non-empty reason" */ //specfem:nohaloreq
+	req := c.Irecv(0, 1)                            // want "request req from Irecv never reaches Wait, Test, or Waitall"
+	_ = req
+}

@@ -1,0 +1,53 @@
+// Package good holds the haloreq negative fixtures: every request
+// reaches completion or escapes to an owner who completes it.
+package good
+
+import "mpi"
+
+func waits(c *mpi.Comm) []float32 {
+	req := c.Irecv(0, 1)
+	return req.Wait()
+}
+
+func polls(c *mpi.Comm) bool {
+	req := c.Irecv(0, 1)
+	for {
+		if _, ok := req.Test(); ok {
+			return true
+		}
+	}
+}
+
+func batched(c *mpi.Comm) {
+	var reqs []*mpi.Request
+	for peer := 0; peer < 4; peer++ {
+		reqs = append(reqs, c.Irecv(peer, 1))
+	}
+	mpi.Waitall(reqs)
+}
+
+func methodValue(c *mpi.Comm) func() []float32 {
+	req := c.Irecv(0, 1)
+	return req.Wait
+}
+
+func escapes(c *mpi.Comm) *mpi.Request {
+	return c.Irecv(0, 1)
+}
+
+func aliased(c *mpi.Comm) {
+	req := c.Irecv(0, 1)
+	pending := req
+	pending.Wait()
+}
+
+func stored(c *mpi.Comm, slots []*mpi.Request) {
+	slots[0] = c.Irecv(0, 1)
+	mpi.Waitall(slots)
+}
+
+func suppressed(c *mpi.Comm) {
+	//specfem:nohaloreq completed by the caller through a side table this fixture does not model
+	req := c.Irecv(0, 1)
+	_ = req
+}

@@ -1,0 +1,9 @@
+// Package rand is a fixture double shadowing math/rand so the
+// determinism fixtures stay hermetic under the GOPATH-style loader.
+package rand
+
+// Float64 returns a pseudo-random float in [0,1).
+func Float64() float64 { return 0 }
+
+// Intn returns a pseudo-random int in [0,n).
+func Intn(n int) int { return 0 }

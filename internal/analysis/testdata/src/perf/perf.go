@@ -1,0 +1,34 @@
+// Package perf is a fixture double mirroring the profiler API shape of
+// specglobe/internal/perf; the analyzers match it by package base name.
+package perf
+
+// Phase labels one accounted section of the time step.
+type Phase int
+
+// Phases of the fixture model.
+const (
+	PhaseForces Phase = iota
+	PhaseUpdate
+	PhaseComm
+)
+
+// Profiler accumulates per-phase time, flops and bytes.
+type Profiler struct{}
+
+// Start opens the run's wall-time window.
+func (p *Profiler) Start() {}
+
+// Stop closes the run's wall-time window.
+func (p *Profiler) Stop() {}
+
+// Time runs f and charges its duration to ph.
+func (p *Profiler) Time(ph Phase, f func()) { f() }
+
+// Add charges an externally measured duration to ph.
+func (p *Profiler) Add(ph Phase, d int64) {}
+
+// AddFlops charges n floating-point operations to ph.
+func (p *Profiler) AddFlops(ph Phase, n int64) {}
+
+// AddBytes charges n bytes of memory traffic to ph.
+func (p *Profiler) AddBytes(ph Phase, n int64) {}

@@ -1,0 +1,37 @@
+// Package bad holds the phasepair positive fixtures: broken Start/Stop
+// pairing, phase-mismatched accounting, and orphan flop adds.
+package bad
+
+import "perf"
+
+func startNoStop(p *perf.Profiler) {
+	p.Start() // want "Profiler.Start without a matching Stop"
+	work()
+}
+
+func work() {}
+
+func mismatch(p *perf.Profiler, n int64) {
+	p.Time(perf.PhaseForces, func() { // want "reaches AddFlops/AddBytes for phase PhaseUpdate"
+		p.AddFlops(perf.PhaseUpdate, n)
+	})
+}
+
+func mismatchTransitive(p *perf.Profiler, xs []float32, n int64) {
+	p.Time(perf.PhaseComm, func() { // want "reaches AddFlops/AddBytes for phase PhaseUpdate"
+		charge(p, xs, n)
+	})
+}
+
+func charge(p *perf.Profiler, xs []float32, n int64) {
+	sum := float32(0)
+	for _, x := range xs {
+		sum += x
+	}
+	_ = sum
+	p.AddBytes(perf.PhaseUpdate, n)
+}
+
+func orphanAdd(p *perf.Profiler, n int64) {
+	p.AddFlops(perf.PhaseForces, n) // want "flop/byte accounting with no accounted work"
+}

@@ -1,0 +1,51 @@
+// Package good holds the phasepair negative fixtures: paired Start/
+// Stop, phase-consistent Time sections, adds next to the counted loop,
+// and a reasoned pragma.
+package good
+
+import "perf"
+
+func paired(p *perf.Profiler) {
+	p.Start()
+	defer p.Stop()
+}
+
+func matched(p *perf.Profiler, xs []float32) {
+	p.Time(perf.PhaseForces, func() {
+		sum := float32(0)
+		for _, x := range xs {
+			sum += x
+		}
+		_ = sum
+		p.AddFlops(perf.PhaseForces, int64(len(xs)))
+	})
+}
+
+func matchedTransitive(p *perf.Profiler, xs []float32) {
+	p.Time(perf.PhaseUpdate, func() {
+		chargeUpdate(p, xs)
+	})
+}
+
+func chargeUpdate(p *perf.Profiler, xs []float32) {
+	sum := float32(0)
+	for _, x := range xs {
+		sum += x
+	}
+	_ = sum
+	p.AddFlops(perf.PhaseUpdate, int64(len(xs)))
+}
+
+func countedLoop(p *perf.Profiler, y, x []float32, a float32) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+	p.AddFlops(perf.PhaseForces, int64(2*len(x)))
+}
+
+// dispatched charges a phase for work handed to another goroutine.
+//
+//specfem:nophasepair the counted work is dispatched elsewhere in this fixture; the add is deliberate
+func dispatched(p *perf.Profiler, n int64) {
+	p.AddFlops(perf.PhaseUpdate, n)
+}

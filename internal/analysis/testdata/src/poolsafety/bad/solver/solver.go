@@ -1,0 +1,79 @@
+// Package solver is the poolsafety positive fixture: a miniature
+// worker pool with the real sweep shapes, driven by chunk closures
+// that break the conventions.
+package solver
+
+type kernelScratch struct {
+	t1 [8]float32
+}
+
+type pool struct{}
+
+func (p *pool) sweepElems(scr []*kernelScratch, elems []int32, busy *int64, fn func(ks *kernelScratch, elems []int32)) {
+	fn(scr[0], elems)
+}
+
+func (p *pool) sweepRange(scr []*kernelScratch, n int, busy *int64, fn func(ks *kernelScratch, lo, hi int)) {
+	fn(scr[0], 0, n)
+}
+
+type state struct {
+	accel []float32
+	ibool []int32
+	seen  map[int32]bool
+	next  int
+}
+
+func capturedVar(p *pool, scr []*kernelScratch, elems []int32) int {
+	var busy int64
+	count := 0
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, elems []int32) {
+		count++ // want "write to captured variable count inside a pool chunk"
+	})
+	return count
+}
+
+func capturedField(p *pool, s *state, scr []*kernelScratch, elems []int32) {
+	var busy int64
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, elems []int32) {
+		s.next = len(elems) // want "write to shared state is not indexed through the chunk's own range"
+	})
+}
+
+func wrongIndex(p *pool, s *state, scr []*kernelScratch, elems []int32) {
+	var busy int64
+	step := 3
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, elems []int32) {
+		s.accel[step] = 0 // want "write to shared state is not indexed through the chunk's own range"
+	})
+	_ = step
+}
+
+func mapWrite(p *pool, s *state, scr []*kernelScratch, elems []int32) {
+	var busy int64
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, elems []int32) {
+		s.seen[elems[0]] = true // want "map write inside a pool chunk"
+	})
+}
+
+func scratchEscape(p *pool, scr []*kernelScratch, elems []int32) *kernelScratch {
+	var busy int64
+	var stash *kernelScratch
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, elems []int32) {
+		stash = ks // want "write to captured variable stash inside a pool chunk" "kernelScratch escapes the pool chunk into captured state"
+	})
+	return stash
+}
+
+func helperDriver(p *pool, s *state, scr []*kernelScratch, elems []int32) {
+	var busy int64
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, elems []int32) {
+		s.badChunk(ks, elems)
+	})
+}
+
+// badChunk is reached with the chunk's arguments, so it is checked
+// under the chunk rules one call layer deep.
+func (s *state) badChunk(ks *kernelScratch, elems []int32) {
+	s.accel[s.next] = 0 // want "write to shared state is not indexed through the chunk's own range"
+}

@@ -1,0 +1,80 @@
+// Package solver is the poolsafety negative fixture: the sanctioned
+// chunk patterns — writes indexed through the chunk's own elements or
+// range, scratch kept private, fresh allocations, and a reasoned
+// pragma for a deliberate exception.
+package solver
+
+const ngll3 = 8
+
+type kernelScratch struct {
+	t1 [8]float32
+	ux [8]float32
+}
+
+type pool struct{}
+
+func (p *pool) sweepElems(scr []*kernelScratch, elems []int32, busy *int64, fn func(ks *kernelScratch, elems []int32)) {
+	fn(scr[0], elems)
+}
+
+func (p *pool) sweepRange(scr []*kernelScratch, n int, busy *int64, fn func(ks *kernelScratch, lo, hi int)) {
+	fn(scr[0], 0, n)
+}
+
+type state struct {
+	accel []float32
+	ibool []int32
+	mass  []float32
+}
+
+func forces(p *pool, s *state, scr []*kernelScratch, elems []int32) {
+	var busy int64
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, elems []int32) {
+		t1 := &ks.t1
+		for k := range t1 {
+			t1[k] = 0
+		}
+		local := make([]float32, ngll3)
+		for _, e32 := range elems {
+			e := int(e32)
+			base := e * ngll3
+			ib := s.ibool[base : base+ngll3]
+			for k, g := range ib {
+				local[k] = float32(k)
+				s.accel[g] += t1[k] * local[k]
+			}
+		}
+	})
+}
+
+func update(p *pool, s *state, scr []*kernelScratch, n int) {
+	var busy int64
+	p.sweepRange(scr, n, &busy, func(ks *kernelScratch, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.accel[i] *= s.mass[i]
+		}
+	})
+}
+
+func helperDriver(p *pool, s *state, scr []*kernelScratch, elems []int32) {
+	var busy int64
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, elems []int32) {
+		s.goodChunk(ks, elems)
+	})
+}
+
+// goodChunk writes through the chunk's own element list, the coloring-
+// class contract.
+func (s *state) goodChunk(ks *kernelScratch, elems []int32) {
+	for _, e32 := range elems {
+		s.accel[int(e32)] += ks.ux[0]
+	}
+}
+
+func reduction(p *pool, s *state, scr []*kernelScratch, elems []int32) {
+	var busy int64
+	p.sweepElems(scr, elems, &busy, func(ks *kernelScratch, elems []int32) {
+		//specfem:nopoolsafety single-writer slot: the sweep dispatches one chunk per color, and slot 0 belongs to this fixture's only chunk
+		s.accel[0] = 0
+	})
+}

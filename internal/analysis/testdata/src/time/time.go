@@ -1,0 +1,15 @@
+// Package time is a fixture double shadowing the standard library so
+// the determinism fixtures stay hermetic under the GOPATH-style loader.
+package time
+
+// Time is an instant.
+type Time struct{}
+
+// Duration is an elapsed interval.
+type Duration int64
+
+// Now returns the current instant.
+func Now() Time { return Time{} }
+
+// Since returns the interval elapsed since t.
+func Since(t Time) Duration { return 0 }

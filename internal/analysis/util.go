@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pkgBase returns the last path segment of an import path — analyzers
+// scope themselves by suffix ("solver", "mpi", ...) so the real tree
+// (specglobe/internal/solver) and the test fixtures
+// (flopaudit/bad/solver) match the same rules.
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// scopedTo reports whether the pass's package path base is one of names.
+func (p *Pass) scopedTo(names ...string) bool {
+	base := pkgBase(p.Pkg.Path())
+	for _, n := range names {
+		if base == n {
+			return true
+		}
+	}
+	return false
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// calleeOf resolves the function or method a call statically invokes,
+// or nil for indirect calls (function values, interface methods with no
+// selection entry) and type conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (perf.DefaultFlopCounts, mpi.Waitall).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcFromPkg reports whether f is declared in a package whose path
+// base is name.
+func funcFromPkg(f *types.Func, name string) bool {
+	return f != nil && f.Pkg() != nil && pkgBase(f.Pkg().Path()) == name
+}
+
+// recvTypeName returns the name of a method's receiver's named type
+// ("" for plain functions).
+func recvTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declIndex maps each function object declared in the package to its
+// declaration.
+func declIndex(p *Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}
+
+// callGraph maps every declared function to the package-local functions
+// its body calls. Calls made from closures nested in the body belong to
+// the enclosing declaration: the closure runs on the declaration's
+// behalf (pool chunks, Time sections), which is exactly the containment
+// the accounting and phase invariants reason about.
+func callGraph(p *Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func][]*types.Func {
+	out := map[*types.Func][]*types.Func{}
+	for obj, fd := range decls {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p.TypesInfo, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, local := decls[callee]; local {
+				seen[callee] = true
+				out[obj] = append(out[obj], callee)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// buildParents maps every node under root to its parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// parentSkipParens walks up from n past parenthesis nodes.
+func parentSkipParens(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		if _, ok := p.(*ast.ParenExpr); !ok {
+			return p
+		}
+		p = parents[p]
+	}
+}
+
+// hasFloatLoop reports whether body contains floating-point arithmetic
+// inside a for or range statement (at any nesting depth, closures
+// included).
+func hasFloatLoop(info *types.Info, body ast.Node) bool {
+	found := false
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		if n == nil || found {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			switch mm := m.(type) {
+			case *ast.ForStmt:
+				if mm.Body != nil {
+					walk(mm.Body, true)
+				}
+				// Init/Cond/Post stay at the current depth.
+				return false
+			case *ast.RangeStmt:
+				if mm.Body != nil {
+					walk(mm.Body, true)
+				}
+				return false
+			case *ast.BinaryExpr:
+				if inLoop {
+					switch mm.Op.String() {
+					case "+", "-", "*", "/":
+						if isFloat(info.TypeOf(mm.X)) || isFloat(info.TypeOf(mm.Y)) {
+							found = true
+							return false
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if inLoop {
+					switch mm.Tok.String() {
+					case "+=", "-=", "*=", "/=":
+						if len(mm.Lhs) == 1 && isFloat(info.TypeOf(mm.Lhs[0])) {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return found
+}
+
+// rootIdent walks to the base identifier of an index/selector/star/
+// slice/address chain: the variable through which a write or read
+// ultimately reaches memory. Returns nil for expressions not rooted at
+// an identifier (calls, literals).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

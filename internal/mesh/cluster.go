@@ -1,6 +1,10 @@
 package mesh
 
-import "specglobe/internal/earthmodel"
+import (
+	"sort"
+
+	"specglobe/internal/earthmodel"
+)
 
 // Clustered local time stepping (LTS): elements are binned into
 // rate-2^k clusters by their per-element stable dt (ElementDts), so a
@@ -207,8 +211,15 @@ func (c *Clustering) RateCounts() map[int32]int {
 // factor by which element updates per finest-level step shrink when
 // each cluster fires only every Rate-th step.
 func (c *Clustering) UpdateReduction() float64 {
+	counts := c.RateCounts()
+	rates := make([]int32, 0, len(counts))
+	for r := range counts {
+		rates = append(rates, r)
+	}
+	sort.Slice(rates, func(i, j int) bool { return rates[i] < rates[j] })
 	total, weighted := 0.0, 0.0
-	for r, n := range c.RateCounts() {
+	for _, r := range rates {
+		n := counts[r]
 		total += float64(n)
 		weighted += float64(n) / float64(r)
 	}

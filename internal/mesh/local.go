@@ -160,6 +160,7 @@ func BuildHalo(locals []*Local) ([]*HaloPlan, error) {
 			ia, ib int32
 		}
 		pairPts := make(map[pairKey][]sharedPt)
+		//specfem:nodeterminism iteration order never reaches the plan: pairs and shared points are sorted by key below, and the fmt call is a fatal duplicate-point error path
 		for k, owners := range byKey {
 			if len(owners) < 2 {
 				continue

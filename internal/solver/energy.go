@@ -13,6 +13,8 @@ import (
 // Solid:  Ek = 1/2 int rho |v|^2,  Ep = 1/2 int sigma : eps.
 // Fluid:  Ek = 1/2 int |grad chiDot|^2 / rho,  Ep = 1/2 int chiDdot^2/kappa
 // (pressure p = -chiDdot).
+//
+//specfem:noaccount diagnostic energy norm, computed every EnergyEvery steps for stability monitoring; excluded from the stepped kernel flop model
 func (rs *rankState) localEnergy() (kinetic, potential float64) {
 	k := rs.kern
 	var ux, uy, uz [simd.PadLen]float32

@@ -44,6 +44,8 @@ func (m *Movie) PeakFrame() int {
 
 // gatherMoviePositions collects the surface point positions once at
 // startup; only rank 0 receives the result.
+//
+//specfem:noaccount one-time movie I/O setup: surface positions gathered at startup, not stepped work
 func (rs *rankState) gatherMoviePositions() *Movie {
 	sl := &rs.local.Surface
 	cm := rs.local.Regions[earthmodel.RegionCrustMantle]
@@ -75,6 +77,8 @@ func (rs *rankState) gatherMoviePositions() *Movie {
 
 // gatherMovieFrame collects |v| at the surface points of every rank;
 // only rank 0 appends the frame.
+//
+//specfem:noaccount movie I/O path: |v| surface extraction is O(surface points) output, outside the flop model
 func (rs *rankState) gatherMovieFrame(m *Movie, step int) {
 	sl := &rs.local.Surface
 	// Movie frames render wavefield 0 (the reference field of a batch).

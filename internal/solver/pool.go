@@ -128,6 +128,9 @@ func newPool(workers int, variant Kernel, ns int) *pool {
 	return p
 }
 
+// worker drains the task channel on a fixed scratch slot.
+//
+//specfem:nodeterminism busy-time attribution only: the measured nanos feed perf reporting (Busy, busyNanos), never a wavefield or schedule
 func (p *pool) worker(w int) {
 	defer p.wg.Done()
 	ks := p.scratch[w]
@@ -179,6 +182,8 @@ const (
 
 // runInline executes one chunk on the calling rank's scratch, charging
 // the busy counter the same way a worker would.
+//
+//specfem:nodeterminism busy-time attribution only: the measured nanos feed perf reporting (busyNanos), never a wavefield or schedule
 func runInline(ks *kernelScratch, busyNanos *int64, fn func(*kernelScratch)) {
 	t0 := time.Now()
 	fn(ks)

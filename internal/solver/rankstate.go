@@ -170,6 +170,7 @@ type rankState struct {
 	seq int // halo-exchange sequence number for unique tags
 }
 
+//specfem:noaccount one-time rank setup (precomputed Jacobians, gravity tables, coupling weights) before stepping starts
 func newRankState(c *mpi.Comm, sim *Simulation, opts *Options, dt float64,
 	fit *earthmodel.SLSFit, grav *earthmodel.GravityProfile, p *pool, ns int) *rankState {
 
@@ -381,6 +382,8 @@ func complementSorted(pts []int32, n int) []int32 {
 // coefficients for a solid region. rates, when non-nil, holds each
 // element's LTS firing rate: a rate-r element advances its recursions
 // only every r-th step, so its coefficients use r*dt.
+//
+//specfem:noaccount one-time setup of SLS attenuation coefficients, not stepped work
 func newAttState(reg *mesh.Region, fit *earthmodel.SLSFit, dt float64, rates []int32) *attState {
 	a := &attState{nsls: fit.NSLS}
 	a.alpha = make([][]float32, fit.NSLS)
@@ -415,6 +418,8 @@ func newAttState(reg *mesh.Region, fit *earthmodel.SLSFit, dt float64, rates []i
 
 // assembleMass performs the one-time cross-rank assembly of the diagonal
 // mass matrices and derives inverse masses and ocean load factors.
+//
+//specfem:noaccount one-time mass-matrix assembly before stepping starts
 func (rs *rankState) assembleMass() {
 	for kind := 0; kind < 3; kind++ {
 		reg := rs.local.Regions[kind]
@@ -508,6 +513,8 @@ func (rs *rankState) assembleScalar(kind int, vals []float32) {
 // firing positions (both endpoints agree after the point-rate
 // reconciliation), and fully dormant edges are skipped. With a single
 // field the wire format is byte-identical to the unbatched exchange.
+//
+//specfem:noaccount halo pack adds are O(boundary points); the volume flop model excludes surface assembly by design and charges the phase as comm time
 func (rs *rankState) beginAssembleScalarFields(kind int, fields [][]float32) *pendingExchange {
 	// Consume a tag unconditionally so sequence numbers stay aligned
 	// across ranks even when this rank has no edges for the region.
@@ -575,6 +582,8 @@ func (rs *rankState) assembleVector(kind int, x, y, z []float32) {
 // three-component wavefields (including its LTS edge masking): each
 // neighbor gets one message with the fields' [x(n), y(n), z(n)] blocks
 // back to back in field order.
+//
+//specfem:noaccount halo pack adds are O(boundary points); the volume flop model excludes surface assembly by design and charges the phase as comm time
 func (rs *rankState) beginAssembleVectorFields(kind int, fields [][3][]float32) *pendingExchange {
 	tag := rs.nextTag()
 	p := &pendingExchange{}
@@ -693,6 +702,8 @@ func (cp *combinedPart) points() int {
 // Under LTS the per-region edge masks shrink each part to the firing
 // positions, and a peer with nothing firing in either region is
 // skipped this step.
+//
+//specfem:noaccount halo pack adds are O(boundary points); the volume flop model excludes surface assembly by design and charges the phase as comm time
 func (rs *rankState) beginAssembleSolidCombined() *pendingExchange {
 	cm := rs.solid[earthmodel.RegionCrustMantle]
 	ic := rs.solid[earthmodel.RegionInnerCore]

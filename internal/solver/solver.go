@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"specglobe/internal/earthmodel"
@@ -312,6 +313,8 @@ type LTSInfo struct {
 
 // Run executes the simulation: one goroutine per rank over the simulated
 // MPI world.
+//
+//specfem:noaccount driver-level work (stable-dt scan, seismogram collection, report assembly) around the stepped loop; kernels account themselves
 func Run(sim *Simulation) (*Result, error) {
 	opts := sim.Opts.withDefaults()
 	if len(sim.Locals) == 0 {
@@ -477,8 +480,14 @@ func Run(sim *Simulation) (*Result, error) {
 	res.SourceStepsPerSec = perf.SourceStepsPerSec(opts.Steps, ns, res.Perf.WallTime)
 	res.MPI = world.Stats()
 	if res.LTS != nil {
+		rates := make([]int, 0, len(res.LTS.ElemsByRate))
+		for r := range res.LTS.ElemsByRate {
+			rates = append(rates, r)
+		}
+		sort.Slice(rates, func(i, j int) bool { return rates[i] < rates[j] })
 		var total, weighted float64
-		for r, n := range res.LTS.ElemsByRate {
+		for _, r := range rates {
+			n := res.LTS.ElemsByRate[r]
 			total += float64(n)
 			weighted += float64(n) / float64(r)
 		}
@@ -523,6 +532,7 @@ type kernels struct {
 	scratchIn, scratchOut []float32
 }
 
+//specfem:noaccount one-time setup of GLL derivative matrices and kernel tables
 func newKernels(variant Kernel) *kernels {
 	b := gll.New(gll.Degree)
 	k := &kernels{variant: variant}

@@ -13,6 +13,8 @@ import (
 // source position over the element's GLL points (the standard SEM
 // representation of the equivalent body force -M . grad(delta)), and
 // the point-force part distributes F * lagrange.
+//
+//specfem:noaccount one-time source setup: nodal force distribution computed before stepping
 func (rs *rankState) prepareSource(src *Source) sourceLocal {
 	reg := rs.local.Regions[src.Kind]
 	sl := sourceLocal{src: src}
@@ -130,6 +132,8 @@ func (rs *rankState) addSources(step int) {
 // one-hot weight at the nearest GLL point in fast mode) and allocates
 // one seismogram per batched wavefield: every station records every
 // source of the ensemble.
+//
+//specfem:noaccount one-time receiver setup: interpolation weights computed before stepping
 func (rs *rankState) prepareReceiver(rcv *Receiver, opts *Options, dt float64) recvLocal {
 	rl := recvLocal{rcv: rcv, kind: rcv.Kind, elem: rcv.Elem}
 	nsamp := opts.Steps / opts.RecordEvery
@@ -173,6 +177,8 @@ func (rs *rankState) prepareReceiver(rcv *Receiver, opts *Options, dt float64) r
 // lead = (r-1-(step%r))*dt; the sample is back-interpolated linearly,
 // d - lead*v. Points with lead == 0 (and all points without LTS) read
 // the displacement directly, keeping the rate-1 path bit-identical.
+//
+//specfem:noaccount seismogram interpolation is O(receivers), excluded from the per-element flop model
 func (rs *rankState) record(step int) {
 	for i := range rs.recvs {
 		rl := &rs.recvs[i]

@@ -3,7 +3,9 @@
 #   ./scripts/docscheck.sh
 # 1. gofmt cleanliness,
 # 2. every internal/* package carries a real `// Package ...` comment,
-# 3. every markdown file referenced from doc.go or README.md exists.
+# 3. every markdown file referenced from doc.go or README.md exists,
+# 4. every specfemvet analyzer's Doc names a DESIGN.md anchor that
+#    resolves to a real DESIGN.md heading.
 set -u
 fail=0
 
@@ -35,6 +37,30 @@ for src in doc.go README.md; do
     for ref in $(grep -oE '[A-Za-z0-9_./-]*[A-Za-z0-9_]\.md' "$src" | sort -u); do
         if [ ! -f "$ref" ]; then
             echo "docscheck: $src references $ref which does not exist" >&2
+            fail=1
+        fi
+    done
+done
+
+# Analyzer Doc anchors: each file declaring an &Analyzer{ must cite a
+# DESIGN.md#anchor, and every cited anchor must slugify from a real
+# DESIGN.md heading (GitHub rule: lowercase, spaces to dashes, other
+# punctuation dropped).
+anchors=$(grep '^#' DESIGN.md | sed 's/^#*[[:space:]]*//' \
+    | tr '[:upper:]' '[:lower:]' | sed 's/[^a-z0-9 -]//g; s/ /-/g')
+for f in internal/analysis/*.go; do
+    case "$f" in *_test.go) continue ;; esac
+    grep -q '&Analyzer{' "$f" || continue
+    refs=$(grep -oE 'DESIGN\.md#[a-z0-9-]+' "$f" | sort -u)
+    if [ -z "$refs" ]; then
+        echo "docscheck: $f declares an Analyzer but cites no DESIGN.md anchor" >&2
+        fail=1
+        continue
+    fi
+    for ref in $refs; do
+        a=${ref#DESIGN.md#}
+        if ! printf '%s\n' "$anchors" | grep -qx "$a"; then
+            echo "docscheck: $f cites $ref but DESIGN.md has no heading '$a'" >&2
             fail=1
         fi
     done
