@@ -220,6 +220,16 @@ func experimentList() []experiment {
 			},
 		},
 		{
+			id: "SERVICE", desc: "simulation-as-a-service daemon vs sequential one-shot runs: jobs/s, src-steps/s",
+			run: func(quick bool) (fmt.Stringer, error) {
+				nex, steps, jobs, maxBatch := 8, 12, 8, 4
+				if quick {
+					nex, steps, jobs, maxBatch = 4, 6, 4, 2
+				}
+				return experiments.Service(nex, steps, jobs, maxBatch, 1)
+			},
+		},
+		{
 			id: "SSE20", desc: "force-kernel variants: vec4 vs scalar vs BLAS",
 			run: func(quick bool) (fmt.Stringer, error) {
 				nex, steps := 8, 10

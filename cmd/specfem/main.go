@@ -5,6 +5,12 @@
 //
 //	specfem -nex 8 -nproc 1 -model prem -steps 200 -stations 12 \
 //	        -lat -27 -lon -63 -depth 150e3 -out seismograms/
+//
+// The ctl subcommand is the specfemctl client mode: it submits the
+// scenario to a running specfemd daemon over its unix socket and
+// appends the streamed seismogram chunks to .sem files as they arrive:
+//
+//	specfem ctl -socket /tmp/specfemd.sock -nex 8 -steps 200 -out seismograms/
 package main
 
 import (
@@ -23,6 +29,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("specfem: ")
+
+	// `specfem ctl ...` is the specfemctl client mode: submit the
+	// scenario to a running specfemd instead of solving in-process.
+	if len(os.Args) > 1 && os.Args[1] == "ctl" {
+		runCtl(os.Args[2:])
+		return
+	}
 
 	var (
 		nex      = flag.Int("nex", 8, "NEX_XI: spectral elements per chunk side")

@@ -7,7 +7,7 @@ import (
 
 // Determinism is the mechanical half of the PR 2/PR 8 bit-identity
 // guarantee: every rank must execute an identical schedule, so in the
-// solver, mesh, simd and meshfem packages
+// solver, mesh, simd, meshfem and service packages
 //
 //   - ranging over a map may not feed floating-point arithmetic,
 //     formatted output, channel sends, or message posts — Go randomizes
@@ -23,14 +23,14 @@ import (
 var Determinism = &Analyzer{
 	Name:   "determinism",
 	Pragma: "nodeterminism",
-	Doc: "check bit-identity hygiene in solver/mesh/simd/meshfem: no " +
-		"map-order-dependent accumulation or output, no wall clock or " +
+	Doc: "check bit-identity hygiene in solver/mesh/simd/meshfem/service: " +
+		"no map-order-dependent accumulation or output, no wall clock or " +
 		"math/rand (PR 2/PR 8); see DESIGN.md#invariants-as-analyzers",
 	Run: runDeterminism,
 }
 
 func runDeterminism(pass *Pass) error {
-	if !pass.scopedTo("solver", "mesh", "simd", "meshfem") {
+	if !pass.scopedTo("solver", "mesh", "simd", "meshfem", "service") {
 		return nil
 	}
 	info := pass.TypesInfo

@@ -124,6 +124,13 @@ type Config struct {
 	Kernel            solver.Kernel
 	CombinedSolidHalo bool
 	TwoPassMesher     bool
+	// Workers sizes the solver's shared worker pool (0 = GOMAXPROCS,
+	// 1 = serial). Results are bit-identical at every worker count.
+	Workers int
+	// LTS enables clustered local time stepping (solver.Options.LTS);
+	// LTSMaxRate caps the cluster rate (power of two, default 4).
+	LTS        bool
+	LTSMaxRate int
 	// LegacyIO routes the mesh through the per-core file database in
 	// LegacyDir instead of handing it over in memory.
 	LegacyIO  bool

@@ -122,6 +122,15 @@ func (s *Session) locateSource(ev Event, field int) (solver.Source, error) {
 	}, nil
 }
 
+// CheckEvent verifies that an event locates inside a solid region of
+// the session's mesh without running anything — the per-job validation
+// a batching service needs so one bad event fails its own job instead
+// of the whole ensemble.
+func (s *Session) CheckEvent(ev Event) error {
+	_, err := s.locateSource(ev, 0)
+	return err
+}
+
 // steps resolves the step count from cfg (Steps wins over
 // RecordSeconds).
 func (s *Session) steps() (int, error) {
@@ -144,7 +153,7 @@ func (s *Session) steps() (int, error) {
 // all scenario stations (each receiver records every field). Returns
 // the raw solver result, the located stations, the worst station
 // residual and the solver wall time.
-func (s *Session) solve(scs []Scenario) (*solver.Result, []stations.Located, float64, time.Duration, error) {
+func (s *Session) solve(scs []Scenario, chunkSamples int, onChunk func(solver.Chunk)) (*solver.Result, []stations.Located, float64, time.Duration, error) {
 	cfg := &s.cfg
 	srcs := make([]solver.Source, len(scs))
 	for i := range scs {
@@ -197,9 +206,15 @@ func (s *Session) solve(scs []Scenario) (*solver.Result, []stations.Located, flo
 			Gravity:           cfg.Gravity,
 			OceanLoad:         cfg.OceanLoad,
 			Kernel:            cfg.Kernel,
+			Workers:           cfg.Workers,
 			CombinedSolidHalo: cfg.CombinedSolidHalo,
 			RecordEvery:       cfg.RecordEvery,
 			EnergyEvery:       cfg.EnergyEvery,
+			LTS:               cfg.LTS,
+			LTSMaxRate:        cfg.LTSMaxRate,
+
+			OnChunk:            onChunk,
+			StreamChunkSamples: chunkSamples,
 		},
 	})
 	if err != nil {
@@ -232,7 +247,7 @@ func (s *Session) report(sc Scenario, res *solver.Result, stErr float64, solverT
 // independent: each is bit-identical to a full core.Run with the same
 // configuration.
 func (s *Session) Run(sc Scenario) (*Report, error) {
-	res, _, stErr, solverTime, err := s.solve([]Scenario{sc})
+	res, _, stErr, solverTime, err := s.solve([]Scenario{sc}, 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -249,10 +264,46 @@ func (s *Session) Run(sc Scenario) (*Report, error) {
 // the performance counters describe the whole batched run and are
 // shared by all reports.
 func (s *Session) RunBatch(scs []Scenario) ([]*Report, error) {
+	return s.RunBatchStream(scs, 0, nil)
+}
+
+// StreamChunk is one streamed increment of a scenario's seismogram —
+// see solver.Chunk. Field identifies the scenario (ensemble wavefield)
+// it belongs to.
+type StreamChunk = solver.Chunk
+
+// RunBatchStream is RunBatch with incremental delivery: when onChunk is
+// non-nil, each scenario's stations stream their samples in append-only
+// chunks of chunkSamples as the integrator advances (final short chunk
+// carries Last), instead of only materializing in the Reports at the
+// end. A chunk is delivered for scenario ch.Field only if its station
+// belongs to that scenario's own station list — the receiver union
+// records every wavefield, but a scenario never sees another
+// scenario's stations. Concatenated chunks are bit-identical to the
+// Report seismograms, which are still returned. onChunk is called
+// concurrently from rank goroutines and must be safe for concurrent
+// use.
+func (s *Session) RunBatchStream(scs []Scenario, chunkSamples int, onChunk func(StreamChunk)) ([]*Report, error) {
 	if len(scs) == 0 {
 		return nil, fmt.Errorf("core: RunBatch needs at least one scenario")
 	}
-	res, _, stErr, solverTime, err := s.solve(scs)
+	cb := onChunk
+	if onChunk != nil {
+		// Per-scenario station-name filters.
+		sets := make([]map[string]bool, len(scs))
+		for i, sc := range scs {
+			sets[i] = make(map[string]bool, len(sc.Stations))
+			for _, st := range sc.Stations {
+				sets[i][st.Name] = true
+			}
+		}
+		cb = func(ch solver.Chunk) {
+			if ch.Field < len(sets) && sets[ch.Field][ch.Name] {
+				onChunk(ch)
+			}
+		}
+	}
+	res, _, stErr, solverTime, err := s.solve(scs, chunkSamples, cb)
 	if err != nil {
 		return nil, err
 	}

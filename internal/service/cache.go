@@ -1,0 +1,104 @@
+package service
+
+import (
+	"sync"
+
+	"specglobe/internal/core"
+	"specglobe/internal/meshio"
+)
+
+// sessionCache holds one built core.Session per CompatKey under a
+// memory budget. Sessions are the expensive half of a job (the mesher
+// plus handoff); the cache amortizes them across every job of a key.
+// When the budget is exceeded the least-recently-used sessions are
+// evicted; an evicted key simply rebuilds on its next batch (a cache
+// miss, never a job failure). Only a session whose mesh alone exceeds
+// the whole budget fails — typed CodeSessionBudget — because no
+// eviction schedule could ever admit it.
+type sessionCache struct {
+	budget int64 // bytes; <= 0 means unlimited
+
+	mu      sync.Mutex
+	entries map[CompatKey]*cacheEntry
+	total   int64
+	seq     int64
+
+	// Counters for tests and status output.
+	builds, hits, evictions int
+}
+
+type cacheEntry struct {
+	sess    *core.Session
+	bytes   int64
+	lastUse int64
+}
+
+func newSessionCache(budget int64) *sessionCache {
+	return &sessionCache{budget: budget, entries: map[CompatKey]*cacheEntry{}}
+}
+
+// sessionBytes sums the handed-over mesh footprint of a session.
+func sessionBytes(s *core.Session) int64 {
+	var n int64
+	for _, l := range s.Globe().Locals {
+		n += meshio.MeshBytes(l)
+	}
+	return n
+}
+
+// acquire returns the session of key, building it with build on a
+// miss. The single drain loop is the only caller, so the build runs
+// unlocked without risking duplicate builds.
+func (c *sessionCache) acquire(key CompatKey, build func() (*core.Session, error)) (*core.Session, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.seq++
+		e.lastUse = c.seq
+		c.hits++
+		c.mu.Unlock()
+		return e.sess, nil
+	}
+	c.mu.Unlock()
+
+	sess, err := build()
+	if err != nil {
+		return nil, err
+	}
+	bytes := sessionBytes(sess)
+	if c.budget > 0 && bytes > c.budget {
+		return nil, Errf(CodeSessionBudget,
+			"session %s needs %d bytes of mesh, over the %d-byte cache budget", key, bytes, c.budget)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.builds++
+	c.seq++
+	c.entries[key] = &cacheEntry{sess: sess, bytes: bytes, lastUse: c.seq}
+	c.total += bytes
+	// Evict least-recently-used entries until the budget holds again,
+	// never the entry just admitted.
+	for c.budget > 0 && c.total > c.budget && len(c.entries) > 1 {
+		var victim CompatKey
+		var victimE *cacheEntry
+		for k, e := range c.entries {
+			if k == key {
+				continue
+			}
+			if victimE == nil || e.lastUse < victimE.lastUse {
+				victim, victimE = k, e
+			}
+		}
+		delete(c.entries, victim)
+		c.total -= victimE.bytes
+		c.evictions++
+	}
+	return sess, nil
+}
+
+// stats snapshots the cache counters.
+func (c *sessionCache) stats() (builds, hits, evictions int, totalBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builds, c.hits, c.evictions, c.total
+}

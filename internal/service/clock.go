@@ -1,0 +1,94 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time source of the batching window so the result
+// path never reads the wall clock: the daemon asks the injected Clock
+// when a key's oldest job has waited long enough, and tests drive a
+// FakeClock by hand, making batch grouping — and therefore every
+// streamed byte — replayable. Wall time exists only behind WallClock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+// Now reads the real clock.
+//
+//specfem:nodeterminism the one wall-clock read of the service, isolated behind the injected Clock; it paces the batching window only and never reaches a result path
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// WallClock returns the real time source.
+func WallClock() Clock { return wallClock{} }
+
+// FakeClock is a manually advanced Clock for deterministic tests: time
+// moves only when Advance is called, and pending After waiters whose
+// deadline is reached fire then.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake instant.
+func (f *FakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After returns a channel firing once Advance moves the clock past d
+// from now.
+func (f *FakeClock) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := f.now.Add(d)
+	if d <= 0 {
+		ch <- at
+		return ch
+	}
+	f.waiters = append(f.waiters, fakeWaiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward and fires every waiter whose
+// deadline has been reached.
+func (f *FakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	var keep []fakeWaiter
+	var fire []fakeWaiter
+	for _, w := range f.waiters {
+		if !w.at.After(f.now) {
+			fire = append(fire, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	f.waiters = keep
+	now := f.now
+	f.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}

@@ -1,0 +1,64 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code classifies a service failure. Codes travel over the wire (the
+// "code" field of an error response) and are the contract the
+// fault-injection tests pin: each failure mode maps to exactly one
+// code and fails exactly one job.
+type Code string
+
+const (
+	// CodeBadRequest marks a request that never became a job: JSON
+	// that does not parse, a missing event, a non-positive step count.
+	CodeBadRequest Code = "bad_request"
+	// CodeUnknownModel marks a JobSpec naming a model the service does
+	// not know.
+	CodeUnknownModel Code = "unknown_model"
+	// CodeUnknownStation marks a station name with no coordinates: not
+	// in the reference catalog and no explicit lat/lon.
+	CodeUnknownStation Code = "unknown_station"
+	// CodeBadEvent marks an event that validates structurally but does
+	// not locate in a solid region of the job's mesh (e.g. a source
+	// depth inside the fluid outer core).
+	CodeBadEvent Code = "bad_event"
+	// CodeClientGone marks a job whose chunk sink failed mid-stream
+	// (client disconnected). The batch keeps running for its other
+	// jobs; this job's remaining chunks are dropped.
+	CodeClientGone Code = "client_gone"
+	// CodeSessionBudget marks a job whose mesh alone exceeds the
+	// session cache's memory budget: it can never be admitted, at any
+	// eviction state.
+	CodeSessionBudget Code = "session_budget"
+	// CodeRunFailed marks a solver or mesher failure for the job's
+	// batch.
+	CodeRunFailed Code = "run_failed"
+	// CodeShutdown marks jobs still queued when the daemon closed.
+	CodeShutdown Code = "shutdown"
+)
+
+// Error is the typed error every job failure carries.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Msg) }
+
+// Errf builds a typed service error.
+func Errf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the service code of an error, or "" if it carries
+// none.
+func CodeOf(err error) Code {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return ""
+}

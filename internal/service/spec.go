@@ -1,0 +1,303 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"specglobe/internal/core"
+	"specglobe/internal/earthmodel"
+	"specglobe/internal/solver"
+	"specglobe/internal/stations"
+)
+
+// JobSpec is one scenario job as submitted by a client: which mesh to
+// run on (model/resolution/schedule/physics — the compatibility key)
+// and the per-wavefield payload (event, stations). Field names match
+// the wire protocol.
+type JobSpec struct {
+	// Name labels the job in status output (optional).
+	Name string `json:"name,omitempty"`
+	// Model names the Earth model: "prem", "prem_noocean" or
+	// "earthlike" (the homogeneous Earth-sized test model).
+	Model string `json:"model"`
+	// NexXi/NProcXi set the mesh resolution and partition, as in
+	// core.Config.
+	NexXi   int `json:"nex"`
+	NProcXi int `json:"nproc,omitempty"`
+	// Steps is the number of time steps (required; batching needs every
+	// job of an ensemble to march the same loop).
+	Steps int `json:"steps"`
+	// Dt overrides the automatic stable time step when positive.
+	Dt float64 `json:"dt,omitempty"`
+	// Doublings lists mesh-doubling radii in meters, descending.
+	Doublings []float64 `json:"doublings,omitempty"`
+	// RecordEvery decimates seismogram recording (default 1).
+	RecordEvery int `json:"record_every,omitempty"`
+	// Physics switches.
+	Attenuation bool `json:"attenuation,omitempty"`
+	Rotation    bool `json:"rotation,omitempty"`
+	Gravity     bool `json:"gravity,omitempty"`
+	OceanLoad   bool `json:"ocean_load,omitempty"`
+	// Kernel selects the force kernel: "vec4" (default), "scalar",
+	// "blas" or "fused".
+	Kernel string `json:"kernel,omitempty"`
+	// LTS enables clustered local time stepping.
+	LTS bool `json:"lts,omitempty"`
+	// Event is the source (required).
+	Event *EventSpec `json:"event"`
+	// Stations to record (required, at least one).
+	Stations []StationSpec `json:"stations"`
+}
+
+// EventSpec is the wire form of a CMT source.
+type EventSpec struct {
+	LatDeg          float64 `json:"lat"`
+	LonDeg          float64 `json:"lon"`
+	DepthM          float64 `json:"depth_m"`
+	Mrr             float64 `json:"mrr"`
+	Mtt             float64 `json:"mtt"`
+	Mpp             float64 `json:"mpp"`
+	Mrt             float64 `json:"mrt,omitempty"`
+	Mrp             float64 `json:"mrp,omitempty"`
+	Mtp             float64 `json:"mtp,omitempty"`
+	HalfDurationSec float64 `json:"half_duration_s,omitempty"`
+}
+
+// StationSpec names a station: either a reference-catalog name alone
+// (coordinates looked up, unknown names rejected) or a name with
+// explicit coordinates.
+type StationSpec struct {
+	Name   string   `json:"name"`
+	LatDeg *float64 `json:"lat,omitempty"`
+	LonDeg *float64 `json:"lon,omitempty"`
+	DepthM float64  `json:"depth_m,omitempty"`
+}
+
+// CompatKey is everything two jobs must share to run in one ensemble
+// batch: the solver marches all wavefields of a batch through one time
+// loop over one mesh, so mesh shape, step count, cadence, physics and
+// integrator must agree exactly. It doubles as the session-cache key.
+type CompatKey struct {
+	Model       string
+	NexXi       int
+	NProcXi     int
+	Doublings   string // comma-joined radii, preserving order
+	Steps       int
+	Dt          float64
+	RecordEvery int
+	Attenuation bool
+	Rotation    bool
+	Gravity     bool
+	OceanLoad   bool
+	Kernel      solver.Kernel
+	LTS         bool
+}
+
+// String renders the key compactly for logs and wire status.
+func (k CompatKey) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/nex%d/p%d/steps%d", k.Model, k.NexXi, k.NProcXi, k.Steps)
+	if k.Doublings != "" {
+		fmt.Fprintf(&b, "/dbl[%s]", k.Doublings)
+	}
+	if k.Dt > 0 {
+		fmt.Fprintf(&b, "/dt%g", k.Dt)
+	}
+	if k.RecordEvery > 1 {
+		fmt.Fprintf(&b, "/rec%d", k.RecordEvery)
+	}
+	for _, sw := range []struct {
+		on   bool
+		name string
+	}{{k.Attenuation, "att"}, {k.Rotation, "rot"}, {k.Gravity, "grav"}, {k.OceanLoad, "ocean"}, {k.LTS, "lts"}} {
+		if sw.on {
+			b.WriteString("/" + sw.name)
+		}
+	}
+	fmt.Fprintf(&b, "/%s", k.Kernel)
+	return b.String()
+}
+
+// job is a validated JobSpec: resolved model-independent pieces plus
+// the compatibility key.
+type resolvedJob struct {
+	spec     JobSpec
+	key      CompatKey
+	event    core.Event
+	stations []stations.Station
+}
+
+// resolveSpec validates a JobSpec and resolves it into a typed job.
+// Every failure is a *Error with the code the fault-injection contract
+// names.
+func resolveSpec(spec JobSpec) (*resolvedJob, error) {
+	if spec.Steps <= 0 {
+		return nil, Errf(CodeBadRequest, "job %q: steps must be positive (got %d)", spec.Name, spec.Steps)
+	}
+	if spec.NexXi <= 0 {
+		return nil, Errf(CodeBadRequest, "job %q: nex must be positive", spec.Name)
+	}
+	if spec.NProcXi <= 0 {
+		spec.NProcXi = 1
+	}
+	if spec.RecordEvery <= 0 {
+		spec.RecordEvery = 1
+	}
+	if spec.Event == nil {
+		return nil, Errf(CodeBadRequest, "job %q: event is required", spec.Name)
+	}
+	if len(spec.Stations) == 0 {
+		return nil, Errf(CodeBadRequest, "job %q: at least one station is required", spec.Name)
+	}
+	if _, err := modelFor(spec.Model); err != nil {
+		return nil, err
+	}
+	kern, err := kernelFor(spec.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	sts, err := resolveStations(spec.Stations)
+	if err != nil {
+		return nil, err
+	}
+
+	dbl := make([]string, len(spec.Doublings))
+	for i, r := range spec.Doublings {
+		dbl[i] = fmt.Sprintf("%g", r)
+	}
+	ev := spec.Event
+	return &resolvedJob{
+		spec: spec,
+		key: CompatKey{
+			Model:       spec.Model,
+			NexXi:       spec.NexXi,
+			NProcXi:     spec.NProcXi,
+			Doublings:   strings.Join(dbl, ","),
+			Steps:       spec.Steps,
+			Dt:          spec.Dt,
+			RecordEvery: spec.RecordEvery,
+			Attenuation: spec.Attenuation,
+			Rotation:    spec.Rotation,
+			Gravity:     spec.Gravity,
+			OceanLoad:   spec.OceanLoad,
+			Kernel:      kern,
+			LTS:         spec.LTS,
+		},
+		event: core.Event{
+			Name:   spec.Name,
+			LatDeg: ev.LatDeg, LonDeg: ev.LonDeg, DepthM: ev.DepthM,
+			Mrr: ev.Mrr, Mtt: ev.Mtt, Mpp: ev.Mpp,
+			Mrt: ev.Mrt, Mrp: ev.Mrp, Mtp: ev.Mtp,
+			HalfDurationSec: ev.HalfDurationSec,
+		},
+		stations: sts,
+	}, nil
+}
+
+// DirectConfig resolves a JobSpec into the exact one-shot core.Config
+// the daemon runs it under — the reference a client (or the specfemd
+// selftest) uses to verify streamed output bit-for-bit against a
+// direct core.Run.
+func DirectConfig(spec JobSpec, workers int) (core.Config, error) {
+	res, err := resolveSpec(spec)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg, err := configFor(res.key, res.spec, workers)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.Event = res.event
+	cfg.Stations = res.stations
+	return cfg, nil
+}
+
+// modelFor resolves a model name. "earthlike" is the homogeneous
+// Earth-sized model with PREM's core radii — cheap to mesh, used by
+// tests and the SERVICE ablation.
+func modelFor(name string) (earthmodel.Model, error) {
+	switch name {
+	case "prem":
+		return earthmodel.NewPREM(), nil
+	case "prem_noocean":
+		return earthmodel.NewPREMNoOcean(), nil
+	case "earthlike":
+		h := earthmodel.NewHomogeneous(6371e3, earthmodel.Material{
+			Rho: 5000, Vp: 10000, Vs: 5500, Qmu: 300, Qkappa: 57823,
+		})
+		h.ICBRadius = 1221.5e3
+		h.CMBRadius = 3480e3
+		return h, nil
+	}
+	return nil, Errf(CodeUnknownModel, "unknown model %q (have prem, prem_noocean, earthlike)", name)
+}
+
+// kernelFor parses a force-kernel name.
+func kernelFor(name string) (solver.Kernel, error) {
+	switch name {
+	case "", "vec4":
+		return solver.KernelVec4, nil
+	case "scalar":
+		return solver.KernelScalar, nil
+	case "blas":
+		return solver.KernelBlas, nil
+	case "fused":
+		return solver.KernelFused, nil
+	}
+	return 0, Errf(CodeBadRequest, "unknown kernel %q (have vec4, scalar, blas, fused)", name)
+}
+
+// resolveStations turns StationSpecs into located station definitions:
+// explicit coordinates win, bare names must exist in the reference
+// catalog.
+func resolveStations(specs []StationSpec) ([]stations.Station, error) {
+	catalog := map[string]stations.Station{}
+	for _, st := range stations.ReferenceStations() {
+		catalog[st.Name] = st
+	}
+	out := make([]stations.Station, 0, len(specs))
+	for _, sp := range specs {
+		if sp.Name == "" {
+			return nil, Errf(CodeBadRequest, "station with empty name")
+		}
+		if sp.LatDeg != nil && sp.LonDeg != nil {
+			out = append(out, stations.Station{
+				Name: sp.Name, Network: "XX",
+				LatDeg: *sp.LatDeg, LonDeg: *sp.LonDeg, DepthM: sp.DepthM,
+			})
+			continue
+		}
+		ref, ok := catalog[sp.Name]
+		if !ok {
+			return nil, Errf(CodeUnknownStation, "unknown station %q: not in the reference catalog and no explicit coordinates", sp.Name)
+		}
+		out = append(out, ref)
+	}
+	return out, nil
+}
+
+// configFor builds the session (mesh) configuration of a key. Workers
+// is daemon-level: it sizes the shared solver pool, not the ensemble.
+func configFor(key CompatKey, spec JobSpec, workers int) (core.Config, error) {
+	model, err := modelFor(key.Model)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		NexXi:             key.NexXi,
+		NProcXi:           key.NProcXi,
+		Model:             model,
+		Steps:             key.Steps,
+		Dt:                key.Dt,
+		Doublings:         spec.Doublings,
+		Attenuation:       key.Attenuation,
+		Rotation:          key.Rotation,
+		Gravity:           key.Gravity,
+		OceanLoad:         key.OceanLoad,
+		Kernel:            key.Kernel,
+		Workers:           workers,
+		LTS:               key.LTS,
+		RecordEvery:       key.RecordEvery,
+		CombinedSolidHalo: true,
+	}, nil
+}

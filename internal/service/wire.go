@@ -1,0 +1,171 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"specglobe/internal/core"
+)
+
+// The wire protocol is line-delimited JSON in both directions: every
+// request and every response is one JSON object on one line. A
+// malformed line yields one error response and the connection keeps
+// reading — a broken request fails alone, exactly like a broken job.
+
+// Request is one client line.
+type Request struct {
+	// Op is "submit" (requires Job) or "status" (requires ID).
+	Op  string   `json:"op"`
+	Job *JobSpec `json:"job,omitempty"`
+	ID  string   `json:"id,omitempty"`
+}
+
+// Response is one server line. Type is "accepted", "chunk", "done",
+// "status" or "error".
+type Response struct {
+	Type string `json:"type"`
+	ID   string `json:"id,omitempty"`
+	Key  string `json:"key,omitempty"`
+
+	// Chunk payload ("chunk"): samples [Start, Start+len(X)) of the
+	// station's three-component series. Chunks are append-only; the
+	// concatenation over Start order is the final seismogram.
+	Station     string    `json:"station,omitempty"`
+	Field       int       `json:"field,omitempty"`
+	Start       int       `json:"start,omitempty"`
+	Dt          float64   `json:"dt,omitempty"`
+	RecordEvery int       `json:"record_every,omitempty"`
+	X           []float32 `json:"x,omitempty"`
+	Y           []float32 `json:"y,omitempty"`
+	Z           []float32 `json:"z,omitempty"`
+	Last        bool      `json:"last,omitempty"`
+
+	// Terminal payload ("done", "status").
+	Status *JobStatus `json:"status,omitempty"`
+
+	// Error payload ("error").
+	Code  Code   `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// connSink streams one connection's jobs back over its writer. One
+// encoder guarded by a mutex: chunks of concurrently streaming
+// stations interleave whole-line atomically.
+type connSink struct {
+	mu   sync.Mutex
+	enc  *json.Encoder
+	dead bool
+	wg   *sync.WaitGroup
+}
+
+func (s *connSink) send(r *Response) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return fmt.Errorf("service: connection closed")
+	}
+	if err := s.enc.Encode(r); err != nil {
+		s.dead = true
+		return err
+	}
+	return nil
+}
+
+// Chunk implements Sink.
+func (s *connSink) Chunk(jobID string, ch core.StreamChunk) error {
+	return s.send(&Response{
+		Type: "chunk", ID: jobID,
+		Station: ch.Name, Field: ch.Field, Start: ch.Start,
+		Dt: ch.Dt, RecordEvery: ch.RecordEvery,
+		X: ch.X, Y: ch.Y, Z: ch.Z, Last: ch.Last,
+	})
+}
+
+// Done implements Sink.
+func (s *connSink) Done(st JobStatus) {
+	resp := &Response{Type: "done", ID: st.ID, Status: &st}
+	if st.State == StateFailed {
+		resp.Code, resp.Error = st.ErrCode, st.ErrMsg
+	}
+	s.send(resp)
+	s.wg.Done()
+}
+
+// Serve speaks the protocol on one connection until the client stops
+// sending, then waits for the connection's in-flight jobs to finish so
+// every accepted job gets its "done" line attempted before return.
+func Serve(d *Daemon, rw io.ReadWriter) error {
+	var inflight sync.WaitGroup
+	sink := &connSink{enc: json.NewEncoder(rw), wg: &inflight}
+	sc := bufio.NewScanner(rw)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			sink.send(&Response{Type: "error", Code: CodeBadRequest,
+				Error: fmt.Sprintf("malformed request line: %v", err)})
+			continue
+		}
+		switch req.Op {
+		case "submit":
+			if req.Job == nil {
+				sink.send(&Response{Type: "error", Code: CodeBadRequest, Error: "submit needs a job"})
+				continue
+			}
+			inflight.Add(1)
+			id, err := d.Submit(*req.Job, sink)
+			if err != nil {
+				inflight.Done()
+				sink.send(&Response{Type: "error", Code: CodeOf(err), Error: err.Error()})
+				continue
+			}
+			sink.send(&Response{Type: "accepted", ID: id, Key: d.jobKey(id)})
+		case "status":
+			st, ok := d.Status(req.ID)
+			if !ok {
+				sink.send(&Response{Type: "error", ID: req.ID, Code: CodeBadRequest,
+					Error: fmt.Sprintf("unknown job %q", req.ID)})
+				continue
+			}
+			sink.send(&Response{Type: "status", ID: req.ID, Status: &st})
+		default:
+			sink.send(&Response{Type: "error", Code: CodeBadRequest,
+				Error: fmt.Sprintf("unknown op %q", req.Op)})
+		}
+	}
+	inflight.Wait()
+	return sc.Err()
+}
+
+// jobKey returns a job's compatibility key string for the accepted
+// response.
+func (d *Daemon) jobKey(id string) string {
+	st, ok := d.Status(id)
+	if !ok {
+		return ""
+	}
+	return st.Key
+}
+
+// ListenAndServe accepts connections on l and serves each on its own
+// goroutine until l is closed.
+func ListenAndServe(d *Daemon, l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			Serve(d, conn)
+		}()
+	}
+}

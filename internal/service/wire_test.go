@@ -1,0 +1,114 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"specglobe/internal/core"
+	"specglobe/internal/solver"
+)
+
+// TestWireProtocol drives a daemon over the line-delimited JSON
+// protocol on an in-memory connection: a malformed line and an unknown
+// op each produce one typed error response while the connection keeps
+// serving, a valid submit streams chunks that reassemble bit-identical
+// to the direct run, and status answers mid-session.
+func TestWireProtocol(t *testing.T) {
+	d := New(Config{MaxBatch: 1, Window: time.Millisecond, Workers: 1, ChunkSamples: 4})
+	defer d.Close()
+
+	client, server := net.Pipe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(d, server) }()
+
+	enc := json.NewEncoder(client)
+	sc := bufio.NewScanner(client)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	readResp := func() Response {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("connection closed early: %v", sc.Err())
+		}
+		var r Response
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad response line %q: %v", sc.Text(), err)
+		}
+		return r
+	}
+
+	// Malformed JSON: one error response, connection stays up.
+	if _, err := client.Write([]byte("{this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	if r := readResp(); r.Type != "error" || r.Code != CodeBadRequest {
+		t.Fatalf("malformed line: got %+v, want error/%s", r, CodeBadRequest)
+	}
+
+	// Unknown op: same contract.
+	if err := enc.Encode(Request{Op: "launch"}); err != nil {
+		t.Fatal(err)
+	}
+	if r := readResp(); r.Type != "error" || r.Code != CodeBadRequest {
+		t.Fatalf("unknown op: got %+v, want error/%s", r, CodeBadRequest)
+	}
+
+	// Unknown model through the wire: typed code travels.
+	bad := baseSpec("bad", 0)
+	bad.Model = "ak135"
+	if err := enc.Encode(Request{Op: "submit", Job: &bad}); err != nil {
+		t.Fatal(err)
+	}
+	if r := readResp(); r.Type != "error" || r.Code != CodeUnknownModel {
+		t.Fatalf("bad model: got %+v, want error/%s", r, CodeUnknownModel)
+	}
+
+	// A good job streams to completion.
+	spec := baseSpec("wired", 0)
+	if err := enc.Encode(Request{Op: "submit", Job: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	acc := readResp()
+	if acc.Type != "accepted" || acc.ID == "" || acc.Key == "" {
+		t.Fatalf("submit: got %+v, want accepted with id and key", acc)
+	}
+	var chunks []core.StreamChunk
+	var done *Response
+	for done == nil {
+		r := readResp()
+		switch r.Type {
+		case "chunk":
+			if r.ID != acc.ID {
+				t.Fatalf("chunk for unknown job %q", r.ID)
+			}
+			chunks = append(chunks, solver.Chunk{
+				Name: r.Station, Field: r.Field, Start: r.Start,
+				Dt: r.Dt, RecordEvery: r.RecordEvery,
+				X: r.X, Y: r.Y, Z: r.Z, Last: r.Last,
+			})
+		case "done":
+			done = &r
+		default:
+			t.Fatalf("unexpected response %+v", r)
+		}
+	}
+	if done.Status == nil || done.Status.State != StateDone {
+		t.Fatalf("done: %+v", done)
+	}
+	sameSeismos(t, "wired", directSeismos(t, spec, 1), assemble(t, chunks))
+
+	// Status op on the finished job.
+	if err := enc.Encode(Request{Op: "status", ID: acc.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if r := readResp(); r.Type != "status" || r.Status == nil || r.Status.State != StateDone {
+		t.Fatalf("status: got %+v", r)
+	}
+
+	// Closing the client ends the serve loop (net.Pipe surfaces the
+	// close as an error on the read side; a real socket yields EOF).
+	client.Close()
+	<-serveDone
+}

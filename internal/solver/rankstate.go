@@ -87,6 +87,11 @@ type recvLocal struct {
 	elem int
 	w    [mesh.NGLL3]float64 // interpolation weights (one-hot if nearest)
 	out  []*Seismogram       // one per batched wavefield, indexed by field
+	// Streaming state (Options.OnChunk): samples [0, flushed) of every
+	// field's series have been emitted; closed marks the Last chunk
+	// sent.
+	flushed int
+	closed  bool
 }
 
 // sweepClasses holds the precomputed color classes of each element

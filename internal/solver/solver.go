@@ -174,6 +174,20 @@ type Options struct {
 	LTS bool
 	// LTSMaxRate caps the cluster rate (power of two, default 4).
 	LTSMaxRate int
+	// OnChunk, when non-nil, streams seismogram samples incrementally
+	// as the integrator advances: every receiver emits a Chunk per
+	// batched wavefield each time StreamChunkSamples fresh samples have
+	// been recorded, plus a final (possibly short) chunk with Last set
+	// after the step loop. Chunks carry copies — safe to retain — and
+	// concatenating a receiver's chunks in Start order reproduces the
+	// Result seismogram bit-for-bit: streaming only copies samples the
+	// recorder already appended and never alters the arithmetic. The
+	// callback is invoked concurrently from rank goroutines and must be
+	// safe for concurrent use; a blocking callback stalls its rank.
+	OnChunk func(Chunk)
+	// StreamChunkSamples is the per-receiver flush granularity of
+	// OnChunk in recorded samples (default 32 when OnChunk is set).
+	StreamChunkSamples int
 }
 
 func (o Options) withDefaults() Options {
@@ -197,6 +211,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.LTSMaxRate == 0 {
 		o.LTSMaxRate = 4
+	}
+	if o.OnChunk != nil && o.StreamChunkSamples <= 0 {
+		o.StreamChunkSamples = 32
 	}
 	return o
 }
@@ -248,6 +265,22 @@ type Seismogram struct {
 	Dt          float64 // sampling interval (solver dt * RecordEvery)
 	X, Y, Z     []float32
 	RecordEvery int
+}
+
+// Chunk is one streamed increment of a receiver's seismogram: samples
+// [Start, Start+len(X)) of the (Name, Field) series, copied out of the
+// recorder's buffers. Chunks for one (Name, Field) pair arrive in
+// Start order from a single rank goroutine and are append-only —
+// concatenating them equals the final Result seismogram bit-for-bit.
+// Last marks the final chunk of the series for this run.
+type Chunk struct {
+	Name        string
+	Field       int
+	Start       int     // index of the first sample in the full series
+	Dt          float64 // sampling interval (solver dt * RecordEvery)
+	RecordEvery int
+	X, Y, Z     []float32
+	Last        bool
 }
 
 // EnergySample is one global energy measurement.
@@ -444,6 +477,11 @@ func Run(sim *Simulation) (*Result, error) {
 		}
 		rs.prof.Stop()
 		rs.flushPoolTime()
+		if opts.OnChunk != nil {
+			// Terminate every stream (outside the profiled section so
+			// callback time never pollutes the solver's busy time).
+			rs.flushChunks(true)
+		}
 		st := c.Stats()
 		rs.prof.Add(perf.PhaseComm, st.Exposed())
 		rs.prof.Add(perf.PhaseCommHidden, st.HiddenCommTime)

@@ -224,6 +224,51 @@ func (rs *rankState) record(step int) {
 	}
 }
 
+// flushChunks streams newly recorded samples through Options.OnChunk.
+// Whole multiples of StreamChunkSamples are emitted as they complete;
+// with final set, the remainder (possibly empty) goes out with Last so
+// every (receiver, field) series is terminated exactly once even when
+// the run aborts early. Chunks carry copies of the recorder's samples,
+// so streaming never perturbs the series the Result reports.
+//
+//specfem:noaccount streaming copies recorded samples, no arithmetic to account
+func (rs *rankState) flushChunks(final bool) {
+	every := rs.opts.StreamChunkSamples
+	for i := range rs.recvs {
+		rl := &rs.recvs[i]
+		if rl.closed {
+			continue
+		}
+		n := len(rl.out[0].X)
+		for rl.flushed+every <= n {
+			rs.emitChunks(rl, rl.flushed+every, false)
+		}
+		if final {
+			rs.emitChunks(rl, n, true)
+			rl.closed = true
+		}
+	}
+}
+
+// emitChunks sends samples [rl.flushed, upto) of every field of one
+// receiver and advances the flush mark.
+func (rs *rankState) emitChunks(rl *recvLocal, upto int, last bool) {
+	for _, sg := range rl.out {
+		rs.opts.OnChunk(Chunk{
+			Name:        sg.Name,
+			Field:       sg.Field,
+			Start:       rl.flushed,
+			Dt:          sg.Dt,
+			RecordEvery: sg.RecordEvery,
+			X:           append([]float32(nil), sg.X[rl.flushed:upto]...),
+			Y:           append([]float32(nil), sg.Y[rl.flushed:upto]...),
+			Z:           append([]float32(nil), sg.Z[rl.flushed:upto]...),
+			Last:        last,
+		})
+	}
+	rl.flushed = upto
+}
+
 // GaussianSTF returns a Gaussian source-time function with the given
 // half duration, peaking at t0 (typically ~1.5 half durations so the
 // onset is smooth).

@@ -52,6 +52,9 @@ func (rs *rankState) timeStep(step int) {
 	rs.corrector()
 	if (step+1)%rs.opts.RecordEvery == 0 {
 		rs.record(step)
+		if rs.opts.OnChunk != nil {
+			rs.flushChunks(false)
+		}
 	}
 }
 
